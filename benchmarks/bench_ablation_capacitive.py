@@ -1,0 +1,70 @@
+"""Ablation — capacitive coupling at higher frequencies.
+
+The paper, introduction: magnetic coupling dominates the considered range,
+"nevertheless capacitive coupling gain more influence at higher
+frequencies".  This bench quantifies that statement on the baseline buck
+layout: body-to-body mutual capacitances (sub-picofarad) are added to the
+circuit and the per-band spectrum change is reported.
+"""
+
+import numpy as np
+
+from repro.converters import CAPACITIVE_NODES
+from repro.coupling import capacitive_layout_couplings
+from repro.viz import series_table
+
+
+def test_ablation_capacitive(benchmark, design_flow, layout_comparison, record):
+    evaluation = layout_comparison["baseline"]
+    problem = evaluation.problem
+
+    capacitances = benchmark(
+        capacitive_layout_couplings, problem, list(CAPACITIVE_NODES)
+    )
+
+    clean = design_flow.design.emission_spectrum()
+    clean_cap = design_flow.design.emission_spectrum(capacitive=capacitances)
+    magnetic_only = design_flow.design.emission_spectrum(evaluation.couplings)
+    both = design_flow.design.emission_spectrum(
+        evaluation.couplings, capacitive=capacitances
+    )
+    delta_clean = np.abs(clean_cap.dbuv() - clean.dbuv())
+    delta_on_top = np.abs(both.dbuv() - magnetic_only.dbuv())
+    freqs = clean.freqs
+
+    bands = [
+        ("0.15-1 MHz", 150e3, 1e6),
+        ("1-10 MHz", 1e6, 10e6),
+        ("10-30 MHz", 10e6, 30e6),
+        ("30-108 MHz", 30e6, 108e6),
+    ]
+    rows = []
+    for label, lo, hi in bands:
+        mask = (freqs >= lo) & (freqs <= hi)
+        rows.append(
+            [
+                label,
+                f"{float(np.max(delta_clean[mask])):.2f}",
+                f"{float(np.max(delta_on_top[mask])):.2f}",
+            ]
+        )
+    table = series_table(
+        ["band", "vs clean model dB", "on top of magnetic k dB"], rows
+    )
+    strongest = max(capacitances.items(), key=lambda kv: kv[1])
+    summary = (
+        f"{len(capacitances)} capacitive pairs, strongest "
+        f"{strongest[0][0]}-{strongest[0][1]} = {strongest[1] * 1e12:.2f} pF\n"
+        "against the clean model the E-field paths dominate above 30 MHz; once\n"
+        "the (stronger) magnetic couplings of the bad layout are present they\n"
+        "mask most of it — consistent with the paper treating the magnetic\n"
+        "mechanism as primary in this range."
+    )
+    record("ablation_capacitive", f"{table}\n\n{summary}")
+
+    low = float(np.max(delta_clean[freqs < 5e6]))
+    high = float(np.max(delta_clean[freqs > 30e6]))
+    # The paper's statement, quantified: negligible low, dominant high.
+    assert low < 2.0
+    assert high > low + 6.0
+    assert all(v < 5e-12 for v in capacitances.values())  # sub-pF physics

@@ -1,0 +1,102 @@
+"""Ablation — part selection: shielded versus unshielded power inductors.
+
+A corollary of the paper's methodology: the PEMD rules depend on component
+*construction*, so swapping an unshielded drum inductor for its shielded
+twin buys placement area without touching the circuit.  This bench derives
+the rules for both constructions and measures the achievable board size.
+"""
+
+import numpy as np
+
+from repro.components import (
+    FilmCapacitorX2,
+    shielded_power_inductor,
+    unshielded_power_inductor,
+)
+from repro.coupling import distance_sweep
+from repro.geometry import Polygon2D
+from repro.placement import (
+    AutoPlacer,
+    Board,
+    PlacedComponent,
+    PlacementError,
+    PlacementProblem,
+    placement_area,
+)
+from repro.rules import RuleSet, derive_pemd
+from repro.viz import series_table
+
+
+def _board_with(inductor_factory, n_inductors: int = 4) -> PlacementProblem:
+    problem = PlacementProblem([Board(0, Polygon2D.rectangle(0, 0, 0.06, 0.05))])
+    parts = {}
+    for i in range(n_inductors):
+        ref = f"L{i + 1}"
+        parts[ref] = inductor_factory()
+        problem.add_component(PlacedComponent(ref, parts[ref]))
+    problem.add_component(PlacedComponent("C1", FilmCapacitorX2()))
+    refs = list(parts)
+    rules = []
+    cache = {}
+    for i in range(len(refs)):
+        for j in range(i + 1, len(refs)):
+            key = "pair"
+            if key not in cache:
+                cache[key] = derive_pemd(parts[refs[i]], parts[refs[j]], 0.01)
+            rules.append(cache[key].rule(refs[i], refs[j]))
+    problem.rules = RuleSet(min_distance=rules)
+    return problem
+
+
+def test_ablation_shielding(benchmark, record):
+    distances = np.geomspace(0.015, 0.06, 6)
+
+    def sweep_both():
+        return (
+            distance_sweep(
+                unshielded_power_inductor(), unshielded_power_inductor(), distances
+            ),
+            distance_sweep(
+                shielded_power_inductor(), shielded_power_inductor(), distances
+            ),
+        )
+
+    k_open, k_shielded = benchmark(sweep_both)
+
+    rows = [
+        [f"{d * 1e3:.0f}", f"{k_open[i]:.5f}", f"{k_shielded[i]:.5f}",
+         f"{k_shielded[i] / k_open[i]:.3f}"]
+        for i, d in enumerate(distances)
+    ]
+    table = series_table(["d mm", "k unshielded", "k shielded", "ratio"], rows)
+
+    pemd_open = derive_pemd(
+        unshielded_power_inductor(), unshielded_power_inductor(), 0.01
+    ).pemd
+    pemd_shielded = derive_pemd(
+        shielded_power_inductor(), shielded_power_inductor(), 0.01
+    ).pemd
+
+    areas = {}
+    for label, factory in (
+        ("unshielded", unshielded_power_inductor),
+        ("shielded", shielded_power_inductor),
+    ):
+        problem = _board_with(factory)
+        try:
+            AutoPlacer(problem).run()
+            areas[label] = placement_area(problem)
+        except PlacementError:
+            areas[label] = float("nan")
+    summary = (
+        f"PEMD(k=0.01): unshielded {pemd_open * 1e3:.1f} mm, "
+        f"shielded {pemd_shielded * 1e3:.1f} mm\n"
+        f"4-inductor board bounding area: unshielded "
+        f"{areas['unshielded'] * 1e4:.1f} cm^2, shielded "
+        f"{areas['shielded'] * 1e4:.1f} cm^2"
+    )
+    record("ablation_shielding", f"{table}\n\n{summary}")
+
+    assert np.all(k_shielded < 0.25 * k_open)
+    assert pemd_shielded < 0.7 * pemd_open
+    assert areas["shielded"] <= areas["unshielded"] * 1.05

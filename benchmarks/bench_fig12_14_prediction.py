@@ -1,0 +1,66 @@
+"""Figures 12-14 — EMI prediction with and without magnetic couplings.
+
+Paper claims:
+* Fig. 12: the measured conducted noise shows "no correlation to
+  prediction … due to neglected magnetic couplings";
+* Fig. 13: the coupling-free simulation underestimates the interference;
+* Fig. 14: "prediction of EMI behaviour by including magnetic couplings,
+  good correlation with measurements".
+
+The bench measurement is synthesised per the substitution documented in
+DESIGN.md (full coupled model + tolerance detuning + receiver effects).
+"""
+
+import numpy as np
+
+from repro.viz import series_table, spectrum_plot
+
+
+def test_fig12_14_prediction(benchmark, design_flow, layout_comparison, record):
+    evaluation = layout_comparison["baseline"]  # the original (Fig. 1) layout
+
+    measurement = design_flow.measurement_for(evaluation)
+
+    def predict_with_couplings():
+        return design_flow.predict(evaluation.couplings)
+
+    with_couplings = benchmark(predict_with_couplings)
+    without_couplings = design_flow.predict()
+
+    trace_meas = design_flow.receiver_trace(measurement)
+    trace_with = design_flow.receiver_trace(with_couplings)
+    trace_without = design_flow.receiver_trace(without_couplings)
+
+    rows = [
+        [
+            "neglecting couplings (Fig. 13)",
+            f"{trace_meas.mean_abs_error_db(trace_without):.1f}",
+            f"{trace_meas.correlation_db(trace_without):.3f}",
+        ],
+        [
+            "including couplings (Fig. 14)",
+            f"{trace_meas.mean_abs_error_db(trace_with):.1f}",
+            f"{trace_meas.correlation_db(trace_with):.3f}",
+        ],
+    ]
+    table = series_table(["prediction variant", "MAE vs meas dB", "corr"], rows)
+    plot = spectrum_plot(
+        {
+            "measurement": trace_meas,
+            "sim with k": trace_with,
+            "sim k=0": trace_without,
+        },
+        height=18,
+    )
+    record("fig12_14_prediction", f"{table}\n\n{plot}")
+
+    mae_with = trace_meas.mean_abs_error_db(trace_with)
+    mae_without = trace_meas.mean_abs_error_db(trace_without)
+    assert mae_with < 3.0  # "good coincidence"
+    assert mae_without > mae_with + 6.0  # "no correlation" in comparison
+    assert trace_meas.correlation_db(trace_with) > 0.95
+    # The coupling-free model *underestimates* (Fig. 13): the measurement
+    # peaks above it in the upper bands.
+    assert measurement.max_dbuv_in(5e6, 108e6) > without_couplings.max_dbuv_in(
+        5e6, 108e6
+    )

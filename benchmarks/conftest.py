@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates the data behind one figure of the paper and
+writes a text artefact to ``benchmarks/out/`` so EXPERIMENTS.md can quote
+the exact series; heavy pipeline artefacts are computed once per session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.converters import BuckConverterDesign
+from repro.core import EmiDesignFlow
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record(out_dir):
+    """Write an artefact file and echo it to the terminal."""
+
+    def _record(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def buck_design() -> BuckConverterDesign:
+    return BuckConverterDesign()
+
+
+@pytest.fixture(scope="session")
+def design_flow(buck_design) -> EmiDesignFlow:
+    flow = EmiDesignFlow(buck_design)
+    flow.derive_rules()
+    return flow
+
+
+@pytest.fixture(scope="session")
+def layout_comparison(design_flow):
+    return design_flow.compare_layouts()

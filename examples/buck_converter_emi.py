@@ -1,0 +1,74 @@
+"""The full paper flow on the automotive buck converter demonstrator.
+
+Reproduces the evaluation story of Stube et al. (DATE 2008) end to end:
+
+* predict conducted emissions of the converter (CISPR 25 LISN),
+* rank the coupling sensitivities, derive placement rules,
+* place the board twice — EMI-blind ("unfavourable", the paper's Fig. 1)
+  and EMI-aware (Fig. 2/16) — and compare the spectra,
+* write SVG board views with the red/green rule circles (Figs. 15/17).
+
+Run:  python examples/buck_converter_emi.py
+Artifacts land in examples/out/.
+"""
+
+from pathlib import Path
+
+from repro.converters import BuckConverterDesign
+from repro.core import EmiDesignFlow
+from repro.emi import CISPR25_CLASS3_PEAK
+from repro.viz import render_board_svg, render_field_svg, series_table, spectrum_plot
+
+OUT = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    design = BuckConverterDesign()
+    flow = EmiDesignFlow(design)
+
+    print("== 1. sensitivity analysis (which couplings matter?) ==")
+    for entry in flow.run_sensitivity()[:6]:
+        print(
+            f"  {entry.inductor_a:10s} x {entry.inductor_b:10s}"
+            f"  impact {entry.impact_db:5.1f} dB @ {entry.worst_freq / 1e6:6.2f} MHz"
+        )
+    print(f"  relevant pairs (> {flow.sensitivity_threshold_db} dB): "
+          f"{len(flow.relevant_pairs())} of {len(flow.run_sensitivity())}")
+
+    print("\n== 2. derived minimum-distance rules (PEMD) ==")
+    rows = [
+        [r.ref_a, r.ref_b, f"{r.pemd * 1e3:.1f}", f"{r.residual:.2f}"]
+        for r in flow.derive_rules()
+    ]
+    print(series_table(["ref A", "ref B", "PEMD mm", "residual"], rows))
+
+    print("\n== 3. placement: unfavourable vs optimised ==")
+    evaluations = flow.compare_layouts()
+    for name, ev in evaluations.items():
+        print(
+            f"  {name:10s}: {ev.violations} rule violations, "
+            f"CISPR class-3 margin {ev.worst_margin_db:+.1f} dB "
+            f"({'PASS' if ev.passes_limits() else 'FAIL'})"
+        )
+        svg = render_board_svg(ev.problem, title=f"buck converter — {name}")
+        (OUT / f"buck_{name}.svg").write_text(svg)
+        (OUT / f"buck_{name}_field.svg").write_text(
+            render_field_svg(ev.problem, title=f"stray field — {name}")
+        )
+
+    print("\n== 4. conducted emission comparison (receiver traces) ==")
+    traces = {
+        name: flow.receiver_trace(ev.spectrum) for name, ev in evaluations.items()
+    }
+    print(spectrum_plot(traces, limit=CISPR25_CLASS3_PEAK, height=16))
+
+    baseline = evaluations["baseline"].spectrum
+    optimized = evaluations["optimized"].spectrum
+    improvement = (baseline.dbuv() - optimized.dbuv()).max()
+    print(f"\nmax per-harmonic improvement from placement alone: {improvement:.1f} dB")
+    print(f"SVG board views written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

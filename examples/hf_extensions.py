@@ -1,0 +1,77 @@
+"""High-frequency extensions: capacitive coupling, traces, CM/DM, quasi-peak.
+
+The paper flags three directions it does not explore: capacitive coupling
+"gains more influence at higher frequencies", the connecting structures
+carry their own parasitics, and real benches measure both supply lines.
+This script exercises the reproduction's implementations of all three,
+plus the CISPR quasi-peak detector.
+
+Run:  python examples/hf_extensions.py
+"""
+
+import numpy as np
+
+from repro.converters import (
+    CAPACITIVE_NODES,
+    COUPLING_BRANCHES,
+    BuckConverterDesign,
+    cmdm_spectra,
+    layout_couplings,
+)
+from repro.coupling import capacitive_layout_couplings
+from repro.emi import EmiReceiver, separate_modes
+from repro.placement import BaselinePlacer
+from repro.viz import series_table
+
+
+def main() -> None:
+    design = BuckConverterDesign()
+    problem = design.placement_problem()
+    BaselinePlacer(problem).run()
+
+    print("== 1. capacitive coupling (paper: 'more influence at higher f') ==")
+    capacitances = capacitive_layout_couplings(problem, list(CAPACITIVE_NODES))
+    strongest = sorted(capacitances.items(), key=lambda kv: -kv[1])[:4]
+    for (a, b), value in strongest:
+        print(f"  {a}-{b}: {value * 1e12:.2f} pF")
+    base = design.emission_spectrum()
+    with_cap = design.emission_spectrum(capacitive=capacitances)
+    delta = np.abs(with_cap.dbuv() - base.dbuv())
+    freqs = base.freqs
+    print(
+        f"  effect below 5 MHz: {float(np.max(delta[freqs < 5e6])):.2f} dB, "
+        f"above 30 MHz: {float(np.max(delta[freqs > 30e6])):.1f} dB"
+    )
+
+    print("\n== 2. placement-dependent trace inductances ==")
+    trace_l = design.trace_inductances_from_layout(problem)
+    rows = [[net, f"{value * 1e9:.1f}"] for net, value in trace_l.items()]
+    print(series_table(["power net", "trace L nH"], rows))
+
+    print("\n== 3. two-line measurement and CM/DM split ==")
+    magnetic = layout_couplings(problem, list(COUPLING_BRANCHES.values()))
+    line_p, line_n = cmdm_spectra(design, couplings=magnetic)
+    split = separate_modes(line_p, line_n)
+    print(f"  common-mode power fraction: {split.cm_fraction() * 100:.1f}%")
+    print(
+        "  (no Y-caps / CM choke in this design: the heatsink capacitance "
+        "makes CM dominate — the classic argument for CM filtering)"
+    )
+
+    print("\n== 4. detectors: peak vs quasi-peak vs average ==")
+    grid = EmiReceiver.standard_grid(points=6)
+    rows = []
+    for detector in ("peak", "quasi-peak", "average"):
+        rx = EmiReceiver(detector, noise_floor_dbuv=5.0, pulse_rate_hz=250e3)
+        trace = rx.display_trace(base, EmiReceiver.standard_grid(points=120))
+        rows.append([detector, f"{float(np.max(trace.dbuv())):.1f}"])
+    _ = grid
+    print(series_table(["detector", "max level dBuV"], rows))
+    print(
+        "  at a 250 kHz switching rate the quasi-peak weighting equals the "
+        "peak reading (PRF above the CISPR corner)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Interactive placement adviser: online DRC while moving and rotating.
+
+Recreates the paper's section-4 workflow without the GUI: select a part,
+drag it somewhere problematic, watch the rules go red, fix it with the
+90-degree decoupling rotation, then shrink the layout with the guarded
+compaction adviser ("minimization of the system volume").
+
+Run:  python examples/interactive_session.py
+"""
+
+from repro.converters import BuckConverterDesign
+from repro.core import EmiDesignFlow
+from repro.geometry import Vec2
+from repro.placement import InteractiveSession
+
+
+def show(result) -> None:
+    state = "LEGAL" if result.legal else "VIOLATED"
+    print(f"  -> {state}; markers: ", end="")
+    print(
+        ", ".join(
+            f"{m.ref_a}-{m.ref_b}:{m.color}" for m in result.markers
+        )
+    )
+    for violation in result.violations:
+        print(f"     ! {violation.message}")
+
+
+def main() -> None:
+    flow = EmiDesignFlow(BuckConverterDesign())
+    problem, report = flow.place_optimized()
+    print(
+        f"auto layout: {report.placed_count} parts, "
+        f"{report.violations_after} violations"
+    )
+
+    session = InteractiveSession(problem)
+
+    print("\n1. drag CX1 next to the power choke L1 (bad idea):")
+    session.select("CX1")
+    target = problem.components["L1"].center() + Vec2(0.012, 0.0)
+    result = session.move_to(target)
+    show(result)
+
+    print("\n2. undo, like the GUI's ESC:")
+    session.undo()
+    print(f"  -> board legal again: {session.board_is_legal()}")
+
+    print("\n3. nudge CX2 1 mm at a time and watch the online DRC:")
+    session.select("CX2")
+    for _ in range(3):
+        result = session.move_by(Vec2(1e-3, 0.0))
+        show(result)
+        if not result.legal:
+            session.undo()
+            print("  (reverted the illegal nudge)")
+            break
+
+    print("\n4. volume minimisation with the compaction adviser:")
+    area_before = session.area()
+    moves = 0
+    for ref in list(problem.components):
+        if problem.components[ref].fixed:
+            continue
+        while session.compact_step(ref, step=1e-3) is not None:
+            moves += 1
+    area_after = session.area()
+    print(
+        f"  {moves} guarded moves: bounding area "
+        f"{area_before * 1e4:.1f} -> {area_after * 1e4:.1f} cm^2 "
+        f"({(1 - area_after / area_before) * 100:.0f}% smaller), "
+        f"still legal: {session.board_is_legal()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

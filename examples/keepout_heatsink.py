@@ -1,0 +1,86 @@
+"""3-D keepouts with z-offset: placing under a heatsink overhang.
+
+One of the paper's distinctive constraint types: "3D keepouts with/without
+z-offset".  A heatsink that overhangs the board at 8 mm height blocks tall
+components but lets low-profile parts slide underneath — a genuinely 3-D
+decision a 2-D placer cannot make.
+
+Run:  python examples/keepout_heatsink.py
+"""
+
+from repro.components import (
+    CeramicCapacitor,
+    ElectrolyticCapacitor,
+    FilmCapacitorX2,
+    PowerMosfet,
+    TantalumCapacitorSMD,
+)
+from repro.geometry import Cuboid, Polygon2D, Rect
+from repro.placement import (
+    AutoPlacer,
+    Board,
+    DesignRuleChecker,
+    Keepout3D,
+    PlacedComponent,
+    PlacementProblem,
+)
+from repro.viz import series_table
+
+
+def main() -> None:
+    board = Board(0, Polygon2D.rectangle(0.0, 0.0, 0.06, 0.04))
+    # Heatsink overhang: covers the left half of the board, 8 mm above it.
+    overhang = Keepout3D(
+        "heatsink-overhang",
+        Cuboid(Rect(0.0, 0.0, 0.03, 0.04), zmin=8e-3, zmax=30e-3),
+    )
+    # Its mounting post blocks everything down to the board.
+    post = Keepout3D("heatsink-post", Cuboid(Rect(0.0, 0.0, 0.012, 0.012), 0.0, 30e-3))
+    board.keepouts += [overhang, post]
+
+    problem = PlacementProblem([board])
+    parts = {
+        "Q1": PowerMosfet(),               # 2.3 mm tall: fits underneath
+        "CT1": TantalumCapacitorSMD(),     # 2.9 mm: fits
+        "CC1": CeramicCapacitor(),         # 1.5 mm: fits
+        "CX1": FilmCapacitorX2(),          # 15 mm tall: must stay clear
+        "CE1": ElectrolyticCapacitor(),    # 16 mm tall: must stay clear
+    }
+    for ref, comp in parts.items():
+        problem.add_component(PlacedComponent(ref, comp))
+    problem.add_net("N1", [("Q1", "D"), ("CT1", "1"), ("CX1", "1")])
+    problem.add_net("N2", [("CC1", "1"), ("CE1", "1"), ("Q1", "S")])
+
+    report = AutoPlacer(problem).run()
+    print(
+        f"placed {report.placed_count} parts in {report.runtime_s * 1e3:.0f} ms; "
+        f"violations: {report.violations_after}\n"
+    )
+    rows = []
+    for ref, comp in problem.components.items():
+        x = comp.center().x
+        under = "under overhang" if x < 0.03 else "open area"
+        rows.append(
+            [
+                ref,
+                f"{comp.component.body_height * 1e3:.1f}",
+                f"({x * 1e3:.1f}, {comp.center().y * 1e3:.1f})",
+                under,
+            ]
+        )
+    print(series_table(["part", "height mm", "position mm", "zone"], rows))
+
+    tall_under = [
+        ref
+        for ref, comp in problem.components.items()
+        if comp.component.body_height > 8e-3 and comp.center().x < 0.03
+    ]
+    print(
+        f"\ntall parts under the 8 mm overhang: {tall_under or 'none'} "
+        "(the z-offset keepout admits only low-profile parts there)"
+    )
+    assert DesignRuleChecker(problem).is_legal()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — EMI-coupling-aware design of power electronics.
+
+A from-scratch reproduction of Stube, Schroeder, Hoene & Lissner,
+"A Novel Approach for EMI Design of Power Electronics" (DATE 2008):
+
+* :mod:`repro.peec` — PEEC partial-inductance field engine;
+* :mod:`repro.components` — parts with footprint, field and circuit models;
+* :mod:`repro.circuit` — MNA simulator with mutual couplings;
+* :mod:`repro.emi` — LISN, receiver, CISPR 25 limits;
+* :mod:`repro.coupling` — placed-pair coupling factors, sweeps, fits;
+* :mod:`repro.sensitivity` — coupling-impact ranking;
+* :mod:`repro.rules` — PEMD derivation and the cos(alpha) EMD law;
+* :mod:`repro.placement` — the constraint-driven placement tool;
+* :mod:`repro.converters` — the buck-converter demonstrator;
+* :mod:`repro.core` — the end-to-end design flow.
+"""
+
+from .core import EmiDesignFlow, LayoutEvaluation
+
+__all__ = ["EmiDesignFlow", "LayoutEvaluation"]
+__version__ = "1.0.0"

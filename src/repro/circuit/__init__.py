@@ -1,0 +1,51 @@
+"""Circuit simulation substrate: MNA AC sweeps, transient, sources, netlists.
+
+Mutual inductive couplings — the paper's central quantity — are first-class:
+they stamp into the branch inductance matrix of both the AC and the
+transient engine, so a coupling factor measured by the PEEC engine drops
+straight into a system-level simulation.
+"""
+
+from .elements import (
+    GROUND_NAMES,
+    Capacitor,
+    CircuitElement,
+    CurrentSource,
+    IdealDiode,
+    Inductor,
+    MutualCoupling,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from .mna import AcSolution, AcSweepResult, MnaSystem, SingularCircuitError
+from .netlist import Circuit
+from .parser import format_netlist, parse_netlist, parse_value
+from .sources import TrapezoidSource, pwl_fourier_coefficient, trapezoid_breakpoints
+from .transient import TransientResult, TransientSolver
+
+__all__ = [
+    "GROUND_NAMES",
+    "CircuitElement",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualCoupling",
+    "VoltageSource",
+    "CurrentSource",
+    "Switch",
+    "IdealDiode",
+    "Circuit",
+    "MnaSystem",
+    "SingularCircuitError",
+    "AcSolution",
+    "AcSweepResult",
+    "TransientSolver",
+    "TransientResult",
+    "TrapezoidSource",
+    "pwl_fourier_coefficient",
+    "trapezoid_breakpoints",
+    "parse_netlist",
+    "format_netlist",
+    "parse_value",
+]

@@ -1,0 +1,279 @@
+"""Modified nodal analysis — complex AC sweeps with mutual inductances.
+
+Unknown vector: ``[node voltages | inductor branch currents | source branch
+currents]``.  Inductors get explicit branch currents so that mutual
+couplings stamp as plain off-diagonal entries of the inductance matrix —
+the natural home for the PEEC results.
+
+The system matrix has the affine frequency form ``A(w) = G + jw * S``
+(conductances in ``G``; capacitances and the full inductance matrix in
+``S``), so a sweep only refactorises per point, which is plenty fast for
+the few-hundred-node filter networks of this domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .elements import (
+    GROUND_NAMES,
+    Capacitor,
+    CurrentSource,
+    IdealDiode,
+    Inductor,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from .netlist import Circuit
+
+__all__ = ["AcSolution", "AcSweepResult", "MnaSystem", "SingularCircuitError"]
+
+
+class SingularCircuitError(RuntimeError):
+    """The MNA matrix is singular; the message names the likely culprits."""
+
+
+@dataclass
+class AcSolution:
+    """Phasor solution at one frequency."""
+
+    freq: float
+    node_voltages: dict[str, complex]
+    inductor_currents: dict[str, complex]
+    source_currents: dict[str, complex]
+
+    def voltage(self, node: str) -> complex:
+        """Voltage at a node (ground reads as exactly zero)."""
+        if node in GROUND_NAMES:
+            return 0.0 + 0.0j
+        return self.node_voltages[node]
+
+    def voltage_across(self, n1: str, n2: str) -> complex:
+        """Potential difference ``V(n1) - V(n2)``."""
+        return self.voltage(n1) - self.voltage(n2)
+
+
+@dataclass
+class AcSweepResult:
+    """Solutions over a frequency grid, column-accessible."""
+
+    freqs: np.ndarray
+    solutions: list[AcSolution]
+
+    def voltages(self, node: str) -> np.ndarray:
+        """Complex voltage at ``node`` across the sweep."""
+        return np.array([s.voltage(node) for s in self.solutions])
+
+    def magnitude_db(self, node: str, reference: float = 1.0) -> np.ndarray:
+        """``20 log10(|V|/reference)`` across the sweep."""
+        v = np.abs(self.voltages(node))
+        return 20.0 * np.log10(np.maximum(v, 1e-30) / reference)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+
+class MnaSystem:
+    """Assembled MNA system for a circuit; reusable across sweeps.
+
+    The assembly is redone whenever the circuit's couplings change — the
+    sensitivity loop therefore constructs one ``MnaSystem`` per variant,
+    which is cheap compared to the solves.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._nodes = circuit.node_names()
+        self._node_idx = {n: i for i, n in enumerate(self._nodes)}
+        self._inductors = circuit.inductors()
+        self._ind_idx = {e.name: i for i, e in enumerate(self._inductors)}
+        self._sources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+        self._src_idx = {e.name: i for i, e in enumerate(self._sources)}
+        self.n_nodes = len(self._nodes)
+        self.n_ind = len(self._inductors)
+        self.n_src = len(self._sources)
+        self.size = self.n_nodes + self.n_ind + self.n_src
+        self._g, self._s = self._assemble()
+
+    # -- assembly ---------------------------------------------------------
+
+    def _node(self, name: str) -> int | None:
+        if name in GROUND_NAMES:
+            return None
+        return self._node_idx[name]
+
+    def _stamp_conductance(self, g: np.ndarray, n1: str, n2: str, value: float) -> None:
+        i, j = self._node(n1), self._node(n2)
+        if i is not None:
+            g[i, i] += value
+        if j is not None:
+            g[j, j] += value
+        if i is not None and j is not None:
+            g[i, j] -= value
+            g[j, i] -= value
+
+    def inductance_matrix(self) -> np.ndarray:
+        """Branch inductance matrix including mutual terms [H]."""
+        lmat = np.zeros((self.n_ind, self.n_ind), dtype=float)
+        for i, ind in enumerate(self._inductors):
+            lmat[i, i] = ind.inductance
+        for c in self.circuit.couplings:
+            ia = self._ind_idx.get(c.inductor_a)
+            ib = self._ind_idx.get(c.inductor_b)
+            if ia is None or ib is None:
+                raise KeyError(f"coupling {c.name!r} references a missing inductor")
+            m = c.k * math.sqrt(
+                self._inductors[ia].inductance * self._inductors[ib].inductance
+            )
+            lmat[ia, ib] += m
+            lmat[ib, ia] += m
+        return lmat
+
+    def _assemble(self) -> tuple[np.ndarray, np.ndarray]:
+        g = np.zeros((self.size, self.size), dtype=float)
+        s = np.zeros((self.size, self.size), dtype=float)
+
+        for e in self.circuit.elements:
+            if isinstance(e, Resistor):
+                self._stamp_conductance(g, e.n1, e.n2, 1.0 / e.resistance)
+            elif isinstance(e, Switch):
+                self._stamp_conductance(g, e.n1, e.n2, 1.0 / e.ac_resistance())
+            elif isinstance(e, IdealDiode):
+                r = e.r_on if e.ac_state == "on" else e.r_off
+                self._stamp_conductance(g, e.n1, e.n2, 1.0 / r)
+            elif isinstance(e, Capacitor):
+                i, j = self._node(e.n1), self._node(e.n2)
+                if i is not None:
+                    s[i, i] += e.capacitance
+                if j is not None:
+                    s[j, j] += e.capacitance
+                if i is not None and j is not None:
+                    s[i, j] -= e.capacitance
+                    s[j, i] -= e.capacitance
+
+        # Inductor branches: KCL picks up +-I, branch row enforces
+        # V(n1) - V(n2) - jw * sum_m L[b, m] I_m = 0.
+        lmat = self.inductance_matrix()
+        for b, ind in enumerate(self._inductors):
+            row = self.n_nodes + b
+            i, j = self._node(ind.n1), self._node(ind.n2)
+            if i is not None:
+                g[i, row] += 1.0
+                g[row, i] += 1.0
+            if j is not None:
+                g[j, row] -= 1.0
+                g[row, j] -= 1.0
+            for m in range(self.n_ind):
+                if lmat[b, m] != 0.0:
+                    s[row, self.n_nodes + m] -= lmat[b, m]
+
+        # Voltage-source branches: V(n1) - V(n2) = E.
+        for k, src in enumerate(self._sources):
+            row = self.n_nodes + self.n_ind + k
+            i, j = self._node(src.n1), self._node(src.n2)
+            if i is not None:
+                g[i, row] += 1.0
+                g[row, i] += 1.0
+            if j is not None:
+                g[j, row] -= 1.0
+                g[row, j] -= 1.0
+        return g, s
+
+    # -- solving ------------------------------------------------------------
+
+    def _rhs(self, freq: float) -> np.ndarray:
+        rhs = np.zeros(self.size, dtype=complex)
+        for e in self.circuit.elements:
+            if isinstance(e, CurrentSource):
+                value = e.phasor_at(freq)
+                i, j = self._node(e.n1), self._node(e.n2)
+                # Internal flow n1 -> n2: current leaves node n1's KCL.
+                if i is not None:
+                    rhs[i] -= value
+                if j is not None:
+                    rhs[j] += value
+        for k, src in enumerate(self._sources):
+            rhs[self.n_nodes + self.n_ind + k] = src.phasor_at(freq)
+        return rhs
+
+    def floating_nodes(self) -> list[str]:
+        """Nodes with no conductive path to ground (diagnostic helper).
+
+        Walks the R / L / switch / diode / V-source connectivity graph from
+        ground; capacitors do not count (they are open at DC, which is what
+        makes a node float in the MNA sense).
+        """
+        from .elements import IdealDiode, Resistor, Switch, VoltageSource
+
+        adjacency: dict[str, set[str]] = {n: set() for n in self._nodes}
+        adjacency["0"] = set()
+
+        def canon(n: str) -> str:
+            return "0" if n in GROUND_NAMES else n
+
+        conductive = (Resistor, Inductor, Switch, IdealDiode, VoltageSource)
+        for e in self.circuit.elements:
+            if isinstance(e, conductive):
+                a, b = canon(e.n1), canon(e.n2)
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+
+        reached = {"0"}
+        stack = ["0"]
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    stack.append(neighbour)
+        return [n for n in self._nodes if n not in reached]
+
+    def solve_ac(self, freq: float) -> AcSolution:
+        """Solve the phasor system at one frequency.
+
+        Raises:
+            SingularCircuitError: if the circuit is singular, with the
+                floating nodes named when that is the cause.
+        """
+        omega = 2.0 * math.pi * freq
+        a = self._g + 1j * omega * self._s
+        try:
+            x = np.linalg.solve(a, self._rhs(freq))
+        except np.linalg.LinAlgError as exc:
+            floating = self.floating_nodes()
+            hint = (
+                f"nodes without a conductive path to ground: {floating}"
+                if floating
+                else "check for shorted voltage sources or perfect-k inductor loops"
+            )
+            raise SingularCircuitError(
+                f"MNA matrix singular at {freq:.6g} Hz; {hint}"
+            ) from exc
+        node_v = {n: complex(x[i]) for n, i in self._node_idx.items()}
+        ind_i = {
+            e.name: complex(x[self.n_nodes + i]) for e, i in zip(self._inductors, range(self.n_ind))
+        }
+        src_i = {
+            e.name: complex(x[self.n_nodes + self.n_ind + i])
+            for e, i in zip(self._sources, range(self.n_src))
+        }
+        return AcSolution(freq, node_v, ind_i, src_i)
+
+    def ac_sweep(self, freqs: np.ndarray) -> AcSweepResult:
+        """Solve over a grid of frequencies."""
+        sols = [self.solve_ac(float(f)) for f in np.asarray(freqs, dtype=float)]
+        return AcSweepResult(np.asarray(freqs, dtype=float), sols)
+
+    def transfer(self, output_node: str, freqs: np.ndarray) -> np.ndarray:
+        """Complex transfer from the (single) unit source to a node voltage.
+
+        Convenience for filter characterisation: requires exactly one
+        VoltageSource or CurrentSource with unit AC value semantics left to
+        the caller.
+        """
+        sweep = self.ac_sweep(freqs)
+        return sweep.voltages(output_node)

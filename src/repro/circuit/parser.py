@@ -1,0 +1,184 @@
+"""SPICE-flavoured ASCII netlist reader/writer.
+
+The placement tool of the paper consumes *"all placement relevant circuit
+data … using an ASCII-file interface"*; this module is the circuit half of
+that interface.  Supported card types::
+
+    R<name> n1 n2 <value>
+    C<name> n1 n2 <value> [esr=<v>] [esl=<v>]
+    L<name> n1 n2 <value> [esr=<v>] [epc=<v>]
+    K<name> L<a> L<b> <k>
+    V<name> n1 n2 [dc=<v>] [ac=<v>]
+    I<name> n1 n2 [dc=<v>] [ac=<v>]
+    * comment
+
+Values accept engineering suffixes (``f p n u m k meg g``).  Capacitors and
+inductors with parasitic keywords are expanded into their series/parallel
+networks by the :class:`repro.circuit.Circuit` builders; couplings then
+reference the expanded inductor names (``C3.ESL``, ``L1.L`` …) or the raw
+name when no expansion occurred.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .netlist import Circuit
+
+__all__ = ["parse_value", "parse_netlist", "format_netlist"]
+
+_SUFFIXES = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "meg": 1e6,
+    "g": 1e9,
+    "t": 1e12,
+}
+
+_VALUE_RE = re.compile(r"^([+-]?\d+\.?\d*(?:[eE][+-]?\d+)?)(meg|[fpnumkgt])?$", re.IGNORECASE)
+
+
+def parse_value(token: str) -> float:
+    """Parse an engineering-notation number (``4.7u`` -> 4.7e-6).
+
+    Raises:
+        ValueError: for malformed tokens.
+    """
+    m = _VALUE_RE.match(token.strip())
+    if not m:
+        raise ValueError(f"cannot parse value {token!r}")
+    base = float(m.group(1))
+    suffix = m.group(2)
+    if suffix:
+        base *= _SUFFIXES[suffix.lower()]
+    return base
+
+
+def _parse_kwargs(tokens: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ValueError(f"expected key=value, got {tok!r}")
+        key, _, val = tok.partition("=")
+        out[key.lower()] = parse_value(val)
+    return out
+
+
+def parse_netlist(text: str, title: str = "") -> Circuit:
+    """Build a :class:`Circuit` from netlist text.
+
+    Raises:
+        ValueError: on any malformed card, citing the line number.
+    """
+    circuit = Circuit(title=title)
+    pending_couplings: list[tuple[str, str, str, float]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line or line.startswith("*") or line.startswith("."):
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == "R":
+                circuit.add_resistor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "C":
+                kwargs = _parse_kwargs(tokens[4:])
+                esr = kwargs.pop("esr", 0.0)
+                esl = kwargs.pop("esl", 0.0)
+                if kwargs:
+                    raise ValueError(f"unknown keywords {sorted(kwargs)}")
+                if esr == 0.0 and esl == 0.0:
+                    circuit.add_capacitor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+                else:
+                    circuit.add_real_capacitor(
+                        card, tokens[1], tokens[2], parse_value(tokens[3]), esr=esr, esl=esl
+                    )
+            elif kind == "L":
+                kwargs = _parse_kwargs(tokens[4:])
+                esr = kwargs.pop("esr", 0.0)
+                epc = kwargs.pop("epc", 0.0)
+                if kwargs:
+                    raise ValueError(f"unknown keywords {sorted(kwargs)}")
+                if esr == 0.0 and epc == 0.0:
+                    circuit.add_inductor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+                else:
+                    circuit.add_real_inductor(
+                        card, tokens[1], tokens[2], parse_value(tokens[3]), esr=esr, epc=epc
+                    )
+            elif kind == "K":
+                pending_couplings.append(
+                    (card, tokens[1], tokens[2], parse_value(tokens[3]))
+                )
+            elif kind == "V":
+                kwargs = _parse_kwargs(tokens[3:])
+                circuit.add_vsource(
+                    card,
+                    tokens[1],
+                    tokens[2],
+                    dc=kwargs.get("dc", 0.0),
+                    ac=kwargs.get("ac", 0.0),
+                )
+            elif kind == "I":
+                kwargs = _parse_kwargs(tokens[3:])
+                circuit.add_isource(
+                    card,
+                    tokens[1],
+                    tokens[2],
+                    dc=kwargs.get("dc", 0.0),
+                    ac=kwargs.get("ac", 0.0),
+                )
+            else:
+                raise ValueError(f"unknown card type {card!r}")
+        except (IndexError, ValueError, KeyError) as exc:
+            raise ValueError(f"netlist line {lineno}: {raw.strip()!r}: {exc}") from exc
+
+    inductor_names = {e.name for e in circuit.inductors()}
+
+    def resolve(ref: str) -> str:
+        # Accept the raw card name or its expanded branch (L cards expand
+        # to "<name>.L", C cards with parasitics to "<name>.ESL").
+        for candidate in (ref, f"{ref}.L", f"{ref}.ESL"):
+            if candidate in inductor_names:
+                return candidate
+        raise ValueError(f"coupling references unknown inductor {ref!r}")
+
+    for name, la, lb, k in pending_couplings:
+        circuit.add_coupling(name, resolve(la), resolve(lb), k)
+    return circuit
+
+
+def format_netlist(circuit: Circuit) -> str:
+    """Serialise a circuit back to netlist text (primitives, no re-folding)."""
+    from .elements import (
+        Capacitor,
+        CurrentSource,
+        IdealDiode,
+        Inductor,
+        Resistor,
+        Switch,
+        VoltageSource,
+    )
+
+    lines = [f"* {circuit.title}" if circuit.title else "* netlist"]
+    for e in circuit.elements:
+        if isinstance(e, Resistor):
+            lines.append(f"{e.name} {e.n1} {e.n2} {e.resistance:.6g}")
+        elif isinstance(e, Capacitor):
+            lines.append(f"{e.name} {e.n1} {e.n2} {e.capacitance:.6g}")
+        elif isinstance(e, Inductor):
+            lines.append(f"{e.name} {e.n1} {e.n2} {e.inductance:.6g}")
+        elif isinstance(e, VoltageSource):
+            lines.append(f"{e.name} {e.n1} {e.n2} dc={e.dc:.6g} ac={abs(e.ac):.6g}")
+        elif isinstance(e, CurrentSource):
+            lines.append(f"{e.name} {e.n1} {e.n2} dc={e.dc:.6g} ac={abs(e.ac):.6g}")
+        elif isinstance(e, (Switch, IdealDiode)):
+            lines.append(f"* (behavioural element {e.name} not serialisable)")
+    for c in circuit.couplings:
+        lines.append(f"{c.name} {c.inductor_a} {c.inductor_b} {c.k:.6g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,258 @@
+"""Command-line interface of the placement tool.
+
+Mirrors the paper's usage loop on the ASCII file interface::
+
+    repro-emi place  board.txt -o placed.txt --svg board.svg
+    repro-emi drc    placed.txt
+    repro-emi rules  board.txt --k-threshold 0.01 -o ruled.txt
+    repro-emi compact placed.txt -o compacted.txt
+    repro-emi demo   --out-dir out/
+
+``place`` runs the automatic three-step method, ``drc`` prints the
+red/green rule verdicts, ``rules`` derives PEMD rules for every pair of
+field-relevant parts in the file, ``compact`` shrinks a legal layout, and
+``demo`` reproduces the buck-converter headline comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-emi",
+        description="EMI-coupling-aware placement for power electronics "
+        "(reproduction of Stube et al., DATE 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_place = sub.add_parser("place", help="automatic placement of a problem file")
+    p_place.add_argument("problem", type=Path)
+    p_place.add_argument("-o", "--output", type=Path, help="write placed problem")
+    p_place.add_argument("--svg", type=Path, help="write an SVG board view")
+    p_place.add_argument(
+        "--baseline", action="store_true", help="EMI-blind placement (no min distances)"
+    )
+    p_place.add_argument(
+        "--partition", action="store_true", help="partition onto two boards first"
+    )
+    p_place.add_argument(
+        "--no-rotation", action="store_true", help="skip the optimal-rotation step"
+    )
+    p_place.add_argument(
+        "--refine",
+        action="store_true",
+        help="rip-up-and-replace wirelength refinement after placement",
+    )
+
+    p_drc = sub.add_parser("drc", help="check a placed problem file")
+    p_drc.add_argument("problem", type=Path)
+    p_drc.add_argument("--csv", type=Path, help="write rule markers as CSV")
+
+    p_rules = sub.add_parser(
+        "rules", help="derive PEMD rules for the field-relevant parts"
+    )
+    p_rules.add_argument("problem", type=Path)
+    p_rules.add_argument("--k-threshold", type=float, default=0.01)
+    p_rules.add_argument("-o", "--output", type=Path, help="write problem incl. rules")
+    p_rules.add_argument(
+        "--max-pairs", type=int, default=40, help="cap on derived pairs"
+    )
+
+    p_compact = sub.add_parser("compact", help="shrink a legal layout")
+    p_compact.add_argument("problem", type=Path)
+    p_compact.add_argument("-o", "--output", type=Path)
+    p_compact.add_argument("--step-mm", type=float, default=1.0)
+
+    p_demo = sub.add_parser("demo", help="run the buck-converter comparison")
+    p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
+    return parser
+
+
+def _load(path: Path):
+    from .io import read_problem
+
+    return read_problem(path.read_text())
+
+
+def _save(problem, path: Path, title: str) -> None:
+    from .io import write_problem
+
+    path.write_text(write_problem(problem, title=title))
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from .placement import AutoPlacer, BaselinePlacer, PlacementError
+
+    problem = _load(args.problem)
+    try:
+        if args.baseline:
+            report = BaselinePlacer(problem).run()
+        else:
+            report = AutoPlacer(
+                problem,
+                optimize_rotation=not args.no_rotation,
+                partition=args.partition,
+            ).run()
+    except PlacementError as exc:
+        print(f"placement failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"placed {report.placed_count} components in {report.runtime_s * 1e3:.0f} ms; "
+        f"violations: {report.violations_after}"
+    )
+    if args.refine and not args.baseline:
+        from .placement import refine_wirelength
+
+        result = refine_wirelength(problem)
+        print(
+            f"refinement: wirelength {result.wirelength_before * 1e3:.0f} -> "
+            f"{result.wirelength_after * 1e3:.0f} mm "
+            f"({result.improvement * 100:.0f}% shorter)"
+        )
+    if args.output:
+        _save(problem, args.output, f"placed from {args.problem.name}")
+        print(f"wrote {args.output}")
+    if args.svg:
+        from .viz import render_board_svg
+
+        args.svg.write_text(render_board_svg(problem, title=args.problem.stem))
+        print(f"wrote {args.svg}")
+    return 0 if report.violations_after == 0 else 1
+
+
+def _cmd_drc(args: argparse.Namespace) -> int:
+    from .placement import DesignRuleChecker
+
+    problem = _load(args.problem)
+    checker = DesignRuleChecker(problem)
+    violations = checker.check_all()
+    for marker in checker.rule_markers():
+        print(
+            f"  {marker.color.upper():5s} {marker.ref_a}-{marker.ref_b} "
+            f"(EMD {marker.radius * 2e3:.1f} mm)"
+        )
+    for violation in violations:
+        print(f"  ! {violation.message}")
+    print(f"{len(violations)} violation(s)")
+    if args.csv:
+        from .viz import markers_to_csv
+
+        args.csv.write_text(markers_to_csv(problem))
+        print(f"wrote {args.csv}")
+    return 0 if not violations else 1
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from .rules import RuleSet, derive_pemd
+
+    problem = _load(args.problem)
+    # Field-relevant parts: meaningful stray field (moment above noise).
+    relevant = [
+        (ref, comp.component)
+        for ref, comp in problem.components.items()
+        if comp.component.current_path.magnetic_moment().norm() > 1e-6
+    ]
+    derivation_cache: dict[tuple[str, str], object] = {}
+    rules = list(problem.rules.min_distance)
+    known = {r.pair() for r in rules}
+    derived = 0
+    for i in range(len(relevant)):
+        for j in range(i + 1, len(relevant)):
+            if derived >= args.max_pairs:
+                break
+            ref_a, comp_a = relevant[i]
+            ref_b, comp_b = relevant[j]
+            if tuple(sorted((ref_a, ref_b))) in known:
+                continue
+            type_key = tuple(sorted((comp_a.part_number, comp_b.part_number)))
+            derivation = derivation_cache.get(type_key)
+            if derivation is None:
+                derivation = derive_pemd(comp_a, comp_b, args.k_threshold)
+                derivation_cache[type_key] = derivation
+            rule = derivation.rule(ref_a, ref_b)  # type: ignore[attr-defined]
+            rules.append(rule)
+            derived += 1
+            print(
+                f"  {ref_a}-{ref_b}: PEMD {rule.pemd * 1e3:.1f} mm "
+                f"(residual {rule.residual:.2f})"
+            )
+    problem.rules = RuleSet(
+        min_distance=rules,
+        clearance=problem.rules.clearance,
+        groups=problem.rules.groups,
+        net_lengths=problem.rules.net_lengths,
+    )
+    print(f"derived {derived} rule(s), total {len(rules)}")
+    if args.output:
+        _save(problem, args.output, f"rules for {args.problem.name}")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .placement.compaction import compact_layout
+
+    problem = _load(args.problem)
+    result = compact_layout(problem, step=args.step_mm * 1e-3)
+    print(
+        f"compaction: {result.moves} moves in {result.passes} pass(es); "
+        f"area {result.area_before * 1e4:.2f} -> {result.area_after * 1e4:.2f} cm^2 "
+        f"({result.reduction * 100:.1f}% smaller)"
+    )
+    if args.output:
+        _save(problem, args.output, f"compacted from {args.problem.name}")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .converters import BuckConverterDesign
+    from .core import EmiDesignFlow
+    from .viz import render_board_svg, spectrum_to_csv
+
+    out = args.out_dir
+    out.mkdir(parents=True, exist_ok=True)
+    flow = EmiDesignFlow(BuckConverterDesign())
+    evaluations = flow.compare_layouts()
+    for name, evaluation in evaluations.items():
+        print(
+            f"{name}: {evaluation.violations} violations, "
+            f"CISPR margin {evaluation.worst_margin_db:+.1f} dB"
+        )
+        (out / f"{name}.svg").write_text(
+            render_board_svg(evaluation.problem, title=name)
+        )
+    (out / "spectra.csv").write_text(
+        spectrum_to_csv({n: e.spectrum for n, e in evaluations.items()})
+    )
+    from .core import flow_report
+
+    (out / "report.md").write_text(flow_report(flow, evaluations))
+    print(f"artifacts in {out}/")
+    return 0
+
+
+_COMMANDS = {
+    "place": _cmd_place,
+    "drc": _cmd_drc,
+    "rules": _cmd_rules,
+    "compact": _cmd_compact,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Remaining board parts: resistors, shunts, connectors, controller IC.
+
+These parts are placement-relevant (they occupy area and appear in the
+netlist and functional groups) but their stray fields are negligible; each
+still provides a minimal current path so that field-model code never needs
+special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Vec2, Vec3
+from ..peec import CurrentPath, rectangle_path
+from .base import Component, Pad
+
+__all__ = ["ChipResistor", "ShuntResistor", "Connector", "ControllerIC"]
+
+
+def _small_loop(span: float, height: float, name: str) -> CurrentPath:
+    return rectangle_path(
+        Vec3(-span / 2.0, 0.0, 0.0),
+        Vec3(span / 2.0, 0.0, height),
+        normal="y",
+        width=1.5e-3,
+        thickness=0.2e-3,
+        name=name,
+    )
+
+
+@dataclass
+class ChipResistor(Component):
+    """Thick-film chip resistor (1206)."""
+
+    part_number: str = "R-1206"
+    footprint_w: float = 3.2e-3
+    footprint_h: float = 1.6e-3
+    body_height: float = 0.7e-3
+    resistance: float = 10.0
+    pads: list[Pad] = field(
+        default_factory=lambda: [Pad("1", Vec2(-1.4e-3, 0.0)), Pad("2", Vec2(1.4e-3, 0.0))]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Flat, short loop — negligible field, kept for uniformity."""
+        return _small_loop(2.8e-3, 0.4e-3, self.part_number)
+
+    @property
+    def esr(self) -> float:
+        """The resistance itself."""
+        return self.resistance
+
+
+@dataclass
+class ShuntResistor(Component):
+    """Current-sense shunt (2512, milliohm range)."""
+
+    part_number: str = "SHUNT-10m"
+    footprint_w: float = 6.4e-3
+    footprint_h: float = 3.2e-3
+    body_height: float = 0.9e-3
+    resistance: float = 10e-3
+    pads: list[Pad] = field(
+        default_factory=lambda: [Pad("1", Vec2(-2.9e-3, 0.0)), Pad("2", Vec2(2.9e-3, 0.0))]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Flat loop carrying the full converter current."""
+        return _small_loop(5.8e-3, 0.5e-3, self.part_number)
+
+    @property
+    def esr(self) -> float:
+        """The shunt resistance."""
+        return self.resistance
+
+
+@dataclass
+class Connector(Component):
+    """Board-edge power connector (two-pin)."""
+
+    part_number: str = "CONN-2"
+    footprint_w: float = 12e-3
+    footprint_h: float = 8e-3
+    body_height: float = 10e-3
+    pin_pitch: float = 5e-3
+    pads: list[Pad] = field(
+        default_factory=lambda: [Pad("1", Vec2(-2.5e-3, 0.0)), Pad("2", Vec2(2.5e-3, 0.0))]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Pin pair loop up into the mating face."""
+        return _small_loop(self.pin_pitch, 6e-3, self.part_number)
+
+
+@dataclass
+class ControllerIC(Component):
+    """PWM controller in SOIC-8; no power loop of its own."""
+
+    part_number: str = "CTRL-SO8"
+    footprint_w: float = 5e-3
+    footprint_h: float = 4e-3
+    body_height: float = 1.6e-3
+    pads: list[Pad] = field(
+        default_factory=lambda: [
+            Pad(str(i + 1), Vec2(-1.9e-3 + 1.27e-3 * (i % 4), -1.9e-3 if i < 4 else 1.9e-3))
+            for i in range(8)
+        ]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Tiny supply loop."""
+        return _small_loop(2.5e-3, 0.5e-3, self.part_number)

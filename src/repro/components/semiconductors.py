@@ -1,0 +1,98 @@
+"""Active components: power MOSFET and diode packages.
+
+Semiconductors matter to the EMI flow as *sources* — their switching drives
+the harmonic noise current — and as small lead-frame loops that close the
+converter's hot loop.  Their internal loops are modelled like a capacitor's:
+a small vertical rectangle between the power terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry import Vec2, Vec3
+from ..peec import CurrentPath, rectangle_path
+from .base import Component, Pad
+
+__all__ = ["PowerMosfet", "PowerDiode"]
+
+
+@dataclass
+class PowerMosfet(Component):
+    """Power MOSFET in a DPAK-style package.
+
+    Attributes:
+        rds_on: on-state resistance [ohm].
+        rise_time: switching edge time [s] — sets the spectral corner of the
+            trapezoidal noise source.
+        output_capacitance: Coss [F], relevant to ringing.
+    """
+
+    part_number: str = "MOSFET-DPAK"
+    footprint_w: float = 10e-3
+    footprint_h: float = 9e-3
+    body_height: float = 2.3e-3
+    rds_on: float = 20e-3
+    rise_time: float = 30e-9
+    output_capacitance: float = 300e-12
+    loop_span: float = 7e-3
+    loop_height: float = 1.5e-3
+    pads: list[Pad] = field(
+        default_factory=lambda: [
+            Pad("D", Vec2(-3.5e-3, 0.0)),
+            Pad("S", Vec2(3.5e-3, 0.0)),
+            Pad("G", Vec2(3.5e-3, 2.5e-3)),
+        ]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Lead-frame drain-source loop (small, but closes the hot loop)."""
+        half = self.loop_span / 2.0
+        return rectangle_path(
+            Vec3(-half, 0.0, 0.0),
+            Vec3(half, 0.0, self.loop_height),
+            normal="y",
+            width=4e-3,
+            thickness=0.5e-3,
+            name=self.part_number,
+        )
+
+    @property
+    def esr(self) -> float:
+        """On-resistance stands in for the series loss term."""
+        return self.rds_on
+
+
+@dataclass
+class PowerDiode(Component):
+    """Power Schottky/fast diode in an SMC-style package."""
+
+    part_number: str = "DIODE-SMC"
+    footprint_w: float = 8e-3
+    footprint_h: float = 6.6e-3
+    body_height: float = 2.3e-3
+    forward_voltage: float = 0.5
+    on_resistance: float = 15e-3
+    junction_capacitance: float = 150e-12
+    loop_span: float = 6e-3
+    loop_height: float = 1.3e-3
+    pads: list[Pad] = field(
+        default_factory=lambda: [Pad("A", Vec2(-3e-3, 0.0)), Pad("K", Vec2(3e-3, 0.0))]
+    )
+
+    def build_current_path(self) -> CurrentPath:
+        """Lead-frame anode-cathode loop."""
+        half = self.loop_span / 2.0
+        return rectangle_path(
+            Vec3(-half, 0.0, 0.0),
+            Vec3(half, 0.0, self.loop_height),
+            normal="y",
+            width=3.5e-3,
+            thickness=0.5e-3,
+            name=self.part_number,
+        )
+
+    @property
+    def esr(self) -> float:
+        """Dynamic on-resistance."""
+        return self.on_resistance

@@ -1,0 +1,6 @@
+"""The paper's methodology as a single orchestrating object."""
+
+from .flow import EmiDesignFlow, LayoutEvaluation
+from .report import flow_report
+
+__all__ = ["EmiDesignFlow", "LayoutEvaluation", "flow_report"]

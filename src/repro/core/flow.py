@@ -1,0 +1,199 @@
+"""The end-to-end EMI design flow — the paper's methodology as one object.
+
+The chain (sections 2-5 of the paper):
+
+1. **system simulation** of the converter with parasitics (no couplings);
+2. **sensitivity analysis**: probe coupling factors pairwise, rank their
+   influence on the LISN interference, keep the relevant pairs;
+3. **design-rule derivation**: per relevant pair, sweep coupling versus
+   distance with the PEEC engine, fit, invert at the tolerable coupling
+   level -> pairwise minimum distances PEMD;
+4. **placement**: run the automatic placer under those rules (and the
+   EMI-unaware baseline for comparison);
+5. **verification**: field-simulate the placed pairs, insert the couplings
+   into the circuit, predict the spectrum, check against CISPR 25.
+
+:class:`EmiDesignFlow` runs any prefix of that chain and caches shared
+artefacts, so the benchmarks (one per paper figure) stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..converters import (
+    COUPLING_BRANCHES,
+    BuckConverterDesign,
+    layout_couplings,
+    synthesize_measurement,
+)
+from ..coupling import CouplingDatabase
+from ..emi import CISPR25_CLASS3_PEAK, EmiReceiver, LimitLine, Spectrum
+from ..placement import (
+    AutoPlacer,
+    BaselinePlacer,
+    DesignRuleChecker,
+    PlacementProblem,
+    PlacementReport,
+)
+from ..rules import MinDistanceRule, RuleSet, derive_rule_set
+from ..sensitivity import SensitivityAnalyzer, SensitivityEntry
+
+__all__ = ["LayoutEvaluation", "EmiDesignFlow"]
+
+
+@dataclass
+class LayoutEvaluation:
+    """Verification artefacts for one concrete layout."""
+
+    name: str
+    problem: PlacementProblem
+    couplings: dict[tuple[str, str], float]
+    spectrum: Spectrum
+    violations: int
+    worst_margin_db: float
+
+    def passes_limits(self) -> bool:
+        """CISPR compliance of the predicted spectrum."""
+        return self.worst_margin_db >= 0.0
+
+
+@dataclass
+class EmiDesignFlow:
+    """Orchestrates prediction, sensitivity, rules, placement, verification.
+
+    Attributes:
+        design: the converter under design.
+        k_threshold: tolerable coupling factor for rule derivation (the
+            paper notes k = 0.1 already severely degrades a pi filter;
+            the default leaves a 10x margin below that).
+        sensitivity_threshold_db: minimum probe impact for a pair to count
+            as relevant.
+        limit: CISPR limit line used in verification.
+    """
+
+    design: BuckConverterDesign
+    k_threshold: float = 0.01
+    sensitivity_threshold_db: float = 3.0
+    limit: LimitLine = field(default_factory=lambda: CISPR25_CLASS3_PEAK)
+    ground_plane_z: float | None = None
+    _sensitivity: list[SensitivityEntry] | None = field(default=None, init=False)
+    _rules: list[MinDistanceRule] | None = field(default=None, init=False)
+    _db: CouplingDatabase = field(default_factory=CouplingDatabase, init=False)
+
+    # -- step 1: prediction -------------------------------------------------
+
+    def predict(
+        self, couplings: dict[tuple[str, str], float] | None = None
+    ) -> Spectrum:
+        """Interference spectrum with optional layout couplings."""
+        return self.design.emission_spectrum(couplings)
+
+    # -- step 2: sensitivity --------------------------------------------------
+
+    def sensitivity_frequencies(self) -> np.ndarray:
+        """Decimated harmonic grid for the (many) sensitivity solves."""
+        harmonics = self.design.harmonic_frequencies()
+        return harmonics[:: max(1, len(harmonics) // 40)]
+
+    def run_sensitivity(self) -> list[SensitivityEntry]:
+        """Rank all coupling-branch pairs by interference impact (cached)."""
+        if self._sensitivity is None:
+            circuit, meas = self.design.emi_circuit()
+            analyzer = SensitivityAnalyzer(
+                circuit, meas, self.sensitivity_frequencies(), k_probe=self.k_threshold
+            )
+            pairs = list(combinations(sorted(COUPLING_BRANCHES), 2))
+            self._sensitivity = analyzer.rank(pairs)
+        return self._sensitivity
+
+    def relevant_pairs(self) -> list[SensitivityEntry]:
+        """The pairs above the sensitivity threshold."""
+        return [
+            e
+            for e in self.run_sensitivity()
+            if e.impact_db >= self.sensitivity_threshold_db
+        ]
+
+    # -- step 3: rules -----------------------------------------------------------
+
+    def derive_rules(self) -> list[MinDistanceRule]:
+        """PEMD rules for every relevant pair (cached)."""
+        if self._rules is None:
+            self._rules = derive_rule_set(
+                self.design.parts(),
+                self.relevant_pairs(),
+                COUPLING_BRANCHES,
+                k_threshold_db_map=self.k_threshold,
+                ground_plane_z=self.ground_plane_z,
+            )
+        return self._rules
+
+    def problem_with_rules(self) -> PlacementProblem:
+        """A fresh placement problem carrying the derived rule set."""
+        problem = self.design.placement_problem()
+        problem.rules = RuleSet(min_distance=list(self.derive_rules()))
+        return problem
+
+    # -- step 4: placement ----------------------------------------------------------
+
+    def place_baseline(self) -> tuple[PlacementProblem, PlacementReport]:
+        """EMI-unaware compact layout (the paper's Fig. 1 situation)."""
+        problem = self.problem_with_rules()
+        report = BaselinePlacer(problem).run()
+        return problem, report
+
+    def place_optimized(self) -> tuple[PlacementProblem, PlacementReport]:
+        """EMI-aware automatic layout (the paper's Fig. 2 / Fig. 16)."""
+        problem = self.problem_with_rules()
+        report = AutoPlacer(problem).run()
+        return problem, report
+
+    # -- step 5: verification -----------------------------------------------------
+
+    def evaluate(self, name: str, problem: PlacementProblem) -> LayoutEvaluation:
+        """Field-simulate a layout, predict its spectrum, check limits."""
+        couplings = layout_couplings(
+            problem,
+            refdes_of_interest=list(COUPLING_BRANCHES.values()),
+            ground_plane_z=self.ground_plane_z,
+            database=self._db,
+        )
+        spectrum = self.predict(couplings)
+        checker = DesignRuleChecker(problem)
+        violations = len(checker.check_min_distances())
+        margin = self.limit.worst_margin_db(spectrum)
+        return LayoutEvaluation(
+            name=name,
+            problem=problem,
+            couplings=couplings,
+            spectrum=spectrum,
+            violations=violations,
+            worst_margin_db=margin,
+        )
+
+    def measurement_for(
+        self, evaluation: LayoutEvaluation, seed: int = 2008
+    ) -> Spectrum:
+        """The synthetic bench measurement for a layout (see DESIGN.md)."""
+        return synthesize_measurement(self.design, evaluation.couplings, seed=seed)
+
+    def receiver_trace(self, spectrum: Spectrum, points: int = 160) -> Spectrum:
+        """Display-binned receiver trace of a line spectrum."""
+        receiver = EmiReceiver("peak", noise_floor_dbuv=5.0)
+        grid = receiver.standard_grid(points=points)
+        return receiver.display_trace(spectrum, grid)
+
+    # -- headline comparison -------------------------------------------------------
+
+    def compare_layouts(self) -> dict[str, LayoutEvaluation]:
+        """Baseline versus optimised — the Fig. 1 / Fig. 2 experiment."""
+        baseline_problem, _ = self.place_baseline()
+        optimized_problem, _ = self.place_optimized()
+        return {
+            "baseline": self.evaluate("baseline", baseline_problem),
+            "optimized": self.evaluate("optimized", optimized_problem),
+        }

@@ -1,0 +1,115 @@
+"""Coupling database: cached field simulations for component pairs.
+
+The paper's point about complexity: *"(n (n-1) / 2) minimum distances can be
+defined"* and every coupling simulation costs field-solver time, so results
+are cached by the pair's *relative* pose (coupling is invariant under a
+rigid motion of the pair).  Poses are quantised to 0.1 mm / 1 degree, which
+is far below any placement-relevant sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..components import Component
+from ..geometry import Placement2D
+from .pair import CouplingResult, component_coupling
+
+__all__ = ["CouplingDatabase"]
+
+
+def _relative_key(
+    comp_a: Component,
+    placement_a: Placement2D,
+    comp_b: Component,
+    placement_b: Placement2D,
+) -> tuple:
+    """Cache key from the pair's relative pose, quantised.
+
+    The relative pose is B expressed in A's frame: offset rotated by -rot_a
+    and the rotation difference.
+    """
+    rel = placement_b.position - placement_a.position
+    local = rel.rotated(-placement_a.rotation_rad)
+    drot = placement_b.rotation_rad - placement_a.rotation_rad
+    qmm = 1e-4  # 0.1 mm
+    qdeg = math.pi / 180.0
+    return (
+        id(comp_a),
+        id(comp_b),
+        round(local.x / qmm),
+        round(local.y / qmm),
+        round(drot / qdeg) % 360,
+        placement_a.side,
+        placement_b.side,
+    )
+
+
+@dataclass
+class CouplingDatabase:
+    """Caching front-end for :func:`component_coupling`.
+
+    Attributes:
+        ground_plane_z: shared shielding-plane height (None = no plane).
+        order: quadrature order passed to the field computation.
+    """
+
+    ground_plane_z: float | None = None
+    order: int = 8
+    _cache: dict[tuple, CouplingResult] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def coupling(
+        self,
+        comp_a: Component,
+        placement_a: Placement2D,
+        comp_b: Component,
+        placement_b: Placement2D,
+    ) -> CouplingResult:
+        """Coupling for a placed pair, cached by relative pose."""
+        key = _relative_key(comp_a, placement_a, comp_b, placement_b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        # Symmetric orientation: try the mirrored key too (k is symmetric).
+        mirror = _relative_key(comp_b, placement_b, comp_a, placement_a)
+        cached = self._cache.get(mirror)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = component_coupling(
+            comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
+        )
+        self._cache[key] = result
+        return result
+
+    def pairwise_couplings(
+        self, placed: list[tuple[str, Component, Placement2D]]
+    ) -> dict[tuple[str, str], CouplingResult]:
+        """All-pairs coupling map for a list of (refdes, component, placement).
+
+        Returns a dict keyed by the (refdes_a, refdes_b) pair with
+        refdes_a < refdes_b lexicographically.
+        """
+        out: dict[tuple[str, str], CouplingResult] = {}
+        for i in range(len(placed)):
+            for j in range(i + 1, len(placed)):
+                ref_a, comp_a, pl_a = placed[i]
+                ref_b, comp_b, pl_b = placed[j]
+                key = (ref_a, ref_b) if ref_a < ref_b else (ref_b, ref_a)
+                out[key] = self.coupling(comp_a, pl_a, comp_b, pl_b)
+        return out
+
+    def cache_size(self) -> int:
+        """Number of stored field simulations."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all cached results and counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,112 @@
+"""Coupling factor between two *placed* components.
+
+This is the field-simulation step of the paper's flow: take two component
+models (their simplified current paths), put them at their board positions
+and orientations, and compute the magnetic coupling factor — optionally in
+the presence of a solid ground plane (image method) and with the effective-
+permeability correction for cored parts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import Component
+from ..geometry import Placement2D
+from ..peec import (
+    image_path,
+    mutual_inductance_paths_fast,
+    with_ground_plane,
+)
+
+__all__ = ["CouplingResult", "component_coupling", "pair_coupling_factor"]
+
+
+@dataclass(frozen=True)
+class CouplingResult:
+    """Outcome of one field simulation of a component pair."""
+
+    k: float
+    mutual_h: float
+    self_a_h: float
+    self_b_h: float
+    shielded: bool
+
+    @property
+    def k_abs(self) -> float:
+        """Unsigned coupling factor (what distance rules compare against)."""
+        return abs(self.k)
+
+
+def component_coupling(
+    comp_a: Component,
+    placement_a: Placement2D,
+    comp_b: Component,
+    placement_b: Placement2D,
+    ground_plane_z: float | None = None,
+    order: int = 8,
+) -> CouplingResult:
+    """Full PEEC coupling computation for a placed component pair.
+
+    The effective-permeability correction follows the paper's recipe: the
+    air-core mutual is scaled by ``sqrt(mu_eff_a * stray_a * mu_eff_b *
+    stray_b)`` and each self-inductance by its ``mu_eff`` — neglecting field
+    redirection by the cores (the documented ~15 % error source).
+
+    Args:
+        comp_a, comp_b: the components (local-frame field models).
+        placement_a, placement_b: board placements.
+        ground_plane_z: if set, a solid plane at this height shields the
+            coupling via image currents.
+        order: Gauss–Legendre order of the mutual integral.
+
+    Returns:
+        The signed coupling factor and its ingredients.
+    """
+    path_a = comp_a.placed_current_path(placement_a)
+    path_b = comp_b.placed_current_path(placement_b)
+    la_geo = comp_a.geometric_inductance
+    lb_geo = comp_b.geometric_inductance
+
+    if ground_plane_z is not None:
+        # Image method: the victim sees the source's real + image currents;
+        # self-inductances pick up the (negative) own-image mutual.
+        source_a = with_ground_plane(path_a, ground_plane_z)
+        m_air = mutual_inductance_paths_fast(source_a, path_b, order)
+        la_geo = la_geo + mutual_inductance_paths_fast(
+            image_path(path_a, ground_plane_z), path_a, order
+        )
+        lb_geo = lb_geo + mutual_inductance_paths_fast(
+            image_path(path_b, ground_plane_z), path_b, order
+        )
+        la_geo = max(la_geo, 1e-12)
+        lb_geo = max(lb_geo, 1e-12)
+    else:
+        m_air = mutual_inductance_paths_fast(path_a, path_b, order)
+    mu_a, mu_b = comp_a.mu_eff, comp_b.mu_eff
+    stray_a = comp_a.core.stray_fraction
+    stray_b = comp_b.core.stray_fraction
+    m = m_air * math.sqrt(mu_a * stray_a * mu_b * stray_b)
+    la = la_geo * mu_a
+    lb = lb_geo * mu_b
+    k = m / math.sqrt(la * lb)
+    # Discretisation and image artefacts can push |k| epsilon above 1 for
+    # nearly coincident parts; clamp to the physical range.
+    k = max(-1.0, min(1.0, k))
+    return CouplingResult(
+        k=k, mutual_h=m, self_a_h=la, self_b_h=lb, shielded=ground_plane_z is not None
+    )
+
+
+def pair_coupling_factor(
+    comp_a: Component,
+    placement_a: Placement2D,
+    comp_b: Component,
+    placement_b: Placement2D,
+    ground_plane_z: float | None = None,
+) -> float:
+    """Shorthand returning just the signed k."""
+    return component_coupling(
+        comp_a, placement_a, comp_b, placement_b, ground_plane_z
+    ).k

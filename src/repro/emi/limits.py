@@ -1,0 +1,133 @@
+"""CISPR 25 conducted-emission limit lines.
+
+CISPR 25 defines limits only inside protected broadcast/mobile bands; the
+gaps in between are unconstrained (which is why the limit line in the
+paper's Figs. 1/2 is segmented).  The table below reproduces the class 3
+and class 5 *voltage method* limits for the peak detector, in dBµV — the
+representative mid/strict classes automotive suppliers design against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .spectrum import Spectrum
+
+__all__ = [
+    "LimitSegment",
+    "LimitLine",
+    "CISPR25_CLASS3_PEAK",
+    "CISPR25_CLASS5_PEAK",
+    "CISPR25_CLASS3_AVG",
+]
+
+
+@dataclass(frozen=True)
+class LimitSegment:
+    """One protected band with a flat limit level."""
+
+    f_lo: float
+    f_hi: float
+    level_dbuv: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.f_hi <= self.f_lo:
+            raise ValueError("segment must have f_hi > f_lo")
+
+
+@dataclass
+class LimitLine:
+    """A segmented limit line and compliance checks against it."""
+
+    name: str
+    segments: list[LimitSegment]
+
+    def level_at(self, freq: float) -> float | None:
+        """Limit at a frequency, or None outside all protected bands."""
+        for seg in self.segments:
+            if seg.f_lo <= freq <= seg.f_hi:
+                return seg.level_dbuv
+        return None
+
+    def violations(self, spectrum: Spectrum) -> list[tuple[float, float, float]]:
+        """Lines exceeding the limit: (frequency, level, limit) triples."""
+        out: list[tuple[float, float, float]] = []
+        levels = spectrum.dbuv()
+        for f, level in zip(spectrum.freqs, levels):
+            limit = self.level_at(float(f))
+            if limit is not None and level > limit:
+                out.append((float(f), float(level), limit))
+        return out
+
+    def passes(self, spectrum: Spectrum) -> bool:
+        """True when no line exceeds any protected-band limit."""
+        return not self.violations(spectrum)
+
+    def worst_margin_db(self, spectrum: Spectrum) -> float:
+        """Smallest (limit - level) over all in-band lines; +inf if no line
+        falls into a protected band."""
+        margin = float("inf")
+        levels = spectrum.dbuv()
+        for f, level in zip(spectrum.freqs, levels):
+            limit = self.level_at(float(f))
+            if limit is not None:
+                margin = min(margin, limit - float(level))
+        return margin
+
+    def as_series(self, points_per_segment: int = 2) -> tuple[np.ndarray, np.ndarray]:
+        """Frequency/level arrays for plotting the segmented line."""
+        fs: list[float] = []
+        ls: list[float] = []
+        for seg in self.segments:
+            for f in np.linspace(seg.f_lo, seg.f_hi, points_per_segment):
+                fs.append(float(f))
+                ls.append(seg.level_dbuv)
+        return np.array(fs), np.array(ls)
+
+
+#: CISPR 25 class 3, conducted voltage method, peak detector [dBµV].
+CISPR25_CLASS3_PEAK = LimitLine(
+    "CISPR 25 class 3 peak",
+    [
+        LimitSegment(150e3, 300e3, 70.0, "LW"),
+        LimitSegment(530e3, 1.8e6, 58.0, "MW"),
+        LimitSegment(5.9e6, 6.2e6, 53.0, "SW"),
+        LimitSegment(26e6, 28e6, 50.0, "CB"),
+        LimitSegment(30e6, 54e6, 50.0, "VHF I"),
+        LimitSegment(70e6, 87e6, 42.0, "VHF II"),
+        LimitSegment(87e6, 108e6, 46.0, "FM"),
+    ],
+)
+
+#: CISPR 25 class 5 (strictest), conducted voltage method, peak [dBµV].
+CISPR25_CLASS5_PEAK = LimitLine(
+    "CISPR 25 class 5 peak",
+    [
+        LimitSegment(150e3, 300e3, 50.0, "LW"),
+        LimitSegment(530e3, 1.8e6, 38.0, "MW"),
+        LimitSegment(5.9e6, 6.2e6, 33.0, "SW"),
+        LimitSegment(26e6, 28e6, 30.0, "CB"),
+        LimitSegment(30e6, 54e6, 30.0, "VHF I"),
+        LimitSegment(70e6, 87e6, 22.0, "VHF II"),
+        LimitSegment(87e6, 108e6, 26.0, "FM"),
+    ],
+)
+
+
+#: CISPR 25 class 3, conducted voltage method, average detector [dBµV]
+#: (10 dB below peak in the broadcast bands, per the standard's pairing).
+CISPR25_CLASS3_AVG = LimitLine(
+    "CISPR 25 class 3 average",
+    [
+        LimitSegment(150e3, 300e3, 60.0, "LW"),
+        LimitSegment(530e3, 1.8e6, 48.0, "MW"),
+        LimitSegment(5.9e6, 6.2e6, 43.0, "SW"),
+        LimitSegment(26e6, 28e6, 40.0, "CB"),
+        LimitSegment(30e6, 54e6, 40.0, "VHF I"),
+        LimitSegment(70e6, 87e6, 32.0, "VHF II"),
+        LimitSegment(87e6, 108e6, 36.0, "FM"),
+    ],
+)

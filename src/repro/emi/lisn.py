@@ -1,0 +1,71 @@
+"""CISPR 25 artificial network (LISN) — the conducted-emission testbed.
+
+The paper's measurements (Figs. 1, 2, 12) follow CISPR 25: the supply
+reaches the converter through a 5 µH / 50 Ω artificial network per line,
+and the interference voltage is read at the network's measurement port.
+:func:`add_lisn` splices that network into a circuit; the converter models
+in :mod:`repro.converters` use one LISN in the positive supply line (single
+line measurement, as in the paper's plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import Circuit, Inductor
+
+__all__ = ["LisnPorts", "add_lisn", "LISN_INDUCTANCE", "RECEIVER_IMPEDANCE"]
+
+#: CISPR 25 artificial-network series inductance [H].
+LISN_INDUCTANCE = 5e-6
+
+#: Receiver input impedance terminating the measurement port [ohm].
+RECEIVER_IMPEDANCE = 50.0
+
+#: Supply-side decoupling capacitor [F].
+_SUPPLY_CAP = 1e-6
+
+#: Measurement-port coupling capacitor [F].
+_COUPLING_CAP = 0.1e-6
+
+#: Discharge resistor across the measurement path [ohm].
+_DISCHARGE_RESISTOR = 1e3
+
+
+@dataclass(frozen=True)
+class LisnPorts:
+    """Node names and key elements of one spliced-in LISN."""
+
+    supply_node: str
+    eut_node: str
+    measurement_node: str
+    series_inductor: Inductor
+
+
+def add_lisn(circuit: Circuit, name: str, supply_node: str, eut_node: str) -> LisnPorts:
+    """Insert a CISPR 25 5 µH artificial network between supply and EUT.
+
+    Topology (all shunt elements to ground)::
+
+        supply --[L 5u]-- eut
+        supply --[C 1u]-- 0
+        eut --[C 0.1u]-- meas --[R 50]-- 0
+                          meas --[R 1k]-- 0
+
+    Args:
+        circuit: circuit to extend.
+        name: prefix for the created element names.
+        supply_node: node towards the (ideal) supply.
+        eut_node: node towards the equipment under test.
+
+    Returns:
+        The port bookkeeping, including the measurement node whose voltage
+        is the conducted-emission reading.
+    """
+    meas = f"{name}.meas"
+    inductor = circuit.add_inductor(f"{name}.L", supply_node, eut_node, LISN_INDUCTANCE)
+    circuit.add_capacitor(f"{name}.Csup", supply_node, "0", _SUPPLY_CAP)
+    circuit.add_capacitor(f"{name}.Cmeas", eut_node, meas, _COUPLING_CAP)
+    circuit.add_resistor(f"{name}.Rrx", meas, "0", RECEIVER_IMPEDANCE)
+    circuit.add_resistor(f"{name}.Rdis", meas, "0", _DISCHARGE_RESISTOR)
+    return LisnPorts(supply_node, eut_node, meas, inductor)

@@ -1,0 +1,348 @@
+"""Simple polygons for placement areas, keepins and board outlines.
+
+The placement tool of the paper supports *"different arbitrary shaped
+placement areas"*; this module provides the polygon predicates the placer
+needs: containment (point and rectangle), area/centroid, bounding box,
+inward offset (erosion) for clearance handling, and uniform boundary
+sampling for candidate generation.  Polygons are simple (non
+self-intersecting) and stored counter-clockwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .vec import EPS, Vec2
+
+__all__ = ["Polygon2D", "convex_hull"]
+
+
+def _signed_area(points: Sequence[Vec2]) -> float:
+    total = 0.0
+    n = len(points)
+    for i in range(n):
+        a = points[i]
+        b = points[(i + 1) % n]
+        total += a.cross(b)
+    return 0.5 * total
+
+
+def convex_hull(points: Iterable[Vec2]) -> list[Vec2]:
+    """Andrew's monotone-chain convex hull; returns CCW vertices without
+    the closing repeat.  Collinear points on the hull are dropped.
+
+    The orientation predicate is evaluated in *exact rational arithmetic*
+    (floats convert to :class:`fractions.Fraction` losslessly), so the
+    hull is combinatorially correct for any input — epsilon-thresholded
+    cross products misclassify near-collinear triples and can discard
+    extreme points.
+    """
+    from fractions import Fraction
+
+    pts = sorted(set((p.x, p.y) for p in points))
+    if len(pts) <= 2:
+        return [Vec2(x, y) for x, y in pts]
+
+    def orientation(o, a, p) -> int:
+        """Exact sign of the cross product (o->a) x (o->p)."""
+        cross = (Fraction(a[0]) - Fraction(o[0])) * (
+            Fraction(p[1]) - Fraction(o[1])
+        ) - (Fraction(a[1]) - Fraction(o[1])) * (Fraction(p[0]) - Fraction(o[0]))
+        if cross > 0:
+            return 1
+        if cross < 0:
+            return -1
+        return 0
+
+    def half(seq):
+        out: list[tuple[float, float]] = []
+        for p in seq:
+            # Pop right turns and exact collinear middles (lexicographic
+            # order along a line equals geometric order, so the popped
+            # point is genuinely interior).
+            while len(out) >= 2 and orientation(out[-2], out[-1], p) <= 0:
+                out.pop()
+            out.append(p)
+        return out
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        # Fully collinear input collapses to its extreme pair.
+        return [Vec2(*lower[0]), Vec2(*lower[-1])]
+    return [Vec2(x, y) for x, y in hull]
+
+
+@dataclass
+class Polygon2D:
+    """A simple polygon with counter-clockwise vertex order.
+
+    Construction normalises orientation: clockwise input is reversed, so
+    callers may supply vertices in either winding.
+    """
+
+    vertices: list[Vec2] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a polygon needs at least 3 vertices")
+        if _signed_area(self.vertices) < 0.0:
+            self.vertices = list(reversed(self.vertices))
+
+    # -- basic measures -------------------------------------------------
+
+    def area(self) -> float:
+        """Enclosed area (always positive)."""
+        return abs(_signed_area(self.vertices))
+
+    def perimeter(self) -> float:
+        """Total boundary length."""
+        n = len(self.vertices)
+        return sum(
+            self.vertices[i].distance_to(self.vertices[(i + 1) % n]) for i in range(n)
+        )
+
+    def centroid(self) -> Vec2:
+        """Area centroid."""
+        a = _signed_area(self.vertices)
+        if abs(a) < EPS:
+            # Degenerate: fall back to vertex average.
+            n = len(self.vertices)
+            sx = sum(v.x for v in self.vertices)
+            sy = sum(v.y for v in self.vertices)
+            return Vec2(sx / n, sy / n)
+        cx = cy = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            w = p.cross(q)
+            cx += (p.x + q.x) * w
+            cy += (p.y + q.y) * w
+        return Vec2(cx / (6.0 * a), cy / (6.0 * a))
+
+    def bbox(self) -> tuple[float, float, float, float]:
+        """Axis-aligned bounding box as (xmin, ymin, xmax, ymax)."""
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    # -- predicates ------------------------------------------------------
+
+    def contains_point(self, p: Vec2, tol: float = EPS) -> bool:
+        """Point-in-polygon test; boundary points count as inside."""
+        n = len(self.vertices)
+        inside = False
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            # On-edge check.
+            ab = b - a
+            ap = p - a
+            cross = ab.cross(ap)
+            if abs(cross) <= tol * max(1.0, ab.norm()):
+                t = ap.dot(ab)
+                if -tol <= t <= ab.norm_sq() + tol:
+                    return True
+            # Ray casting (horizontal ray towards +x).
+            if (a.y > p.y) != (b.y > p.y):
+                x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if x_int > p.x:
+                    inside = not inside
+        return inside
+
+    def contains_rect(self, xmin: float, ymin: float, xmax: float, ymax: float) -> bool:
+        """True if an axis-aligned rectangle lies fully inside.
+
+        Checks the four corners plus non-intersection of the rectangle
+        edges with polygon edges — sufficient for simple polygons.
+        """
+        corners = [Vec2(xmin, ymin), Vec2(xmax, ymin), Vec2(xmax, ymax), Vec2(xmin, ymax)]
+        if not all(self.contains_point(c) for c in corners):
+            return False
+        rect_edges = [
+            (corners[0], corners[1]),
+            (corners[1], corners[2]),
+            (corners[2], corners[3]),
+            (corners[3], corners[0]),
+        ]
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            for p, q in rect_edges:
+                if _segments_properly_intersect(a, b, p, q):
+                    return False
+        return True
+
+    def intersects_rect(self, xmin: float, ymin: float, xmax: float, ymax: float) -> bool:
+        """True if the rectangle overlaps the polygon at all."""
+        pxmin, pymin, pxmax, pymax = self.bbox()
+        if xmax < pxmin or pxmax < xmin or ymax < pymin or pymax < ymin:
+            return False
+        corners = [Vec2(xmin, ymin), Vec2(xmax, ymin), Vec2(xmax, ymax), Vec2(xmin, ymax)]
+        if any(self.contains_point(c) for c in corners):
+            return True
+        # Rectangle could fully contain the polygon.
+        v0 = self.vertices[0]
+        if xmin <= v0.x <= xmax and ymin <= v0.y <= ymax:
+            return True
+        rect_edges = [
+            (corners[0], corners[1]),
+            (corners[1], corners[2]),
+            (corners[2], corners[3]),
+            (corners[3], corners[0]),
+        ]
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            for p, q in rect_edges:
+                if _segments_properly_intersect(a, b, p, q):
+                    return True
+        return False
+
+    # -- construction helpers ---------------------------------------------
+
+    def eroded(self, margin: float) -> "Polygon2D | None":
+        """Shrink the polygon inwards by ``margin`` (edge-offset erosion).
+
+        Each edge is shifted inwards along its normal and adjacent edges are
+        re-intersected.  Exact for convex polygons; a good approximation for
+        the mildly non-convex outlines boards actually use.  Returns None if
+        the polygon vanishes.
+        """
+        if margin <= 0.0:
+            return Polygon2D(list(self.vertices))
+        n = len(self.vertices)
+        shifted: list[tuple[Vec2, Vec2]] = []
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            edge = b - a
+            if edge.norm() < EPS:
+                continue
+            # CCW polygon: the inward normal is the edge direction rotated -90 deg.
+            normal = Vec2(edge.y, -edge.x).normalized() * -1.0
+            shifted.append((a + normal * margin, b + normal * margin))
+        if len(shifted) < 3:
+            return None
+        out: list[Vec2] = []
+        m = len(shifted)
+        for i in range(m):
+            p1, p2 = shifted[i]
+            q1, q2 = shifted[(i + 1) % m]
+            pt = _line_intersection(p1, p2, q1, q2)
+            if pt is None:
+                pt = p2
+            out.append(pt)
+        try:
+            poly = Polygon2D(out)
+        except ValueError:
+            return None
+        if poly.area() < EPS or _signed_area(out) <= 0.0:
+            return None
+        # Over-erosion can "evert" the polygon into a small false-positive
+        # shape; genuine eroded vertices sit at least `margin` from the
+        # original boundary (up to numerical slack at reflex corners).
+        for v in poly.vertices:
+            if not self.contains_point(v):
+                return None
+            if self.distance_to_boundary(v) < margin * 0.99 - EPS:
+                return None
+        return poly
+
+    def distance_to_boundary(self, p: Vec2) -> float:
+        """Distance from a point to the polygon's boundary (0 on it)."""
+        best = math.inf
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            ab = b - a
+            denom = ab.norm_sq()
+            if denom < EPS:
+                best = min(best, p.distance_to(a))
+                continue
+            t = max(0.0, min(1.0, (p - a).dot(ab) / denom))
+            best = min(best, p.distance_to(a + ab * t))
+        return best
+
+    def boundary_samples(self, spacing: float) -> list[Vec2]:
+        """Points along the boundary roughly ``spacing`` apart (vertices included)."""
+        if spacing <= 0.0:
+            raise ValueError("spacing must be positive")
+        samples: list[Vec2] = []
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            length = a.distance_to(b)
+            steps = max(1, int(math.ceil(length / spacing)))
+            for s in range(steps):
+                t = s / steps
+                samples.append(Vec2(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)))
+        return samples
+
+    def grid_samples(self, spacing: float) -> list[Vec2]:
+        """Interior points on a regular grid with the given spacing."""
+        if spacing <= 0.0:
+            raise ValueError("spacing must be positive")
+        xmin, ymin, xmax, ymax = self.bbox()
+        pts: list[Vec2] = []
+        y = ymin
+        while y <= ymax + EPS:
+            x = xmin
+            while x <= xmax + EPS:
+                p = Vec2(x, y)
+                if self.contains_point(p):
+                    pts.append(p)
+                x += spacing
+            y += spacing
+        return pts
+
+    @staticmethod
+    def rectangle(xmin: float, ymin: float, xmax: float, ymax: float) -> "Polygon2D":
+        """Axis-aligned rectangular polygon."""
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError("rectangle must have positive extent")
+        return Polygon2D(
+            [Vec2(xmin, ymin), Vec2(xmax, ymin), Vec2(xmax, ymax), Vec2(xmin, ymax)]
+        )
+
+    @staticmethod
+    def regular(center: Vec2, radius: float, sides: int) -> "Polygon2D":
+        """Regular polygon approximating a circle (used for round areas)."""
+        if sides < 3:
+            raise ValueError("need at least 3 sides")
+        return Polygon2D(
+            [
+                center + Vec2.from_polar(radius, 2.0 * math.pi * i / sides)
+                for i in range(sides)
+            ]
+        )
+
+
+def _line_intersection(p1: Vec2, p2: Vec2, q1: Vec2, q2: Vec2) -> Vec2 | None:
+    """Intersection point of the infinite lines (p1,p2) and (q1,q2)."""
+    d1 = p2 - p1
+    d2 = q2 - q1
+    denom = d1.cross(d2)
+    if abs(denom) < EPS:
+        return None
+    t = (q1 - p1).cross(d2) / denom
+    return p1 + d1 * t
+
+
+def _segments_properly_intersect(a: Vec2, b: Vec2, c: Vec2, d: Vec2) -> bool:
+    """True if open segments (a,b) and (c,d) cross at a single interior point."""
+    d1 = (b - a).cross(c - a)
+    d2 = (b - a).cross(d - a)
+    d3 = (d - c).cross(a - c)
+    d4 = (d - c).cross(b - c)
+    return ((d1 > EPS and d2 < -EPS) or (d1 < -EPS and d2 > EPS)) and (
+        (d3 > EPS and d4 < -EPS) or (d3 < -EPS and d4 > EPS)
+    )

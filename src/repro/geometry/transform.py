@@ -1,0 +1,134 @@
+"""Rigid-body transforms for placing component geometry on a board.
+
+A component's internal current path, pads and body are described in its own
+local frame; a :class:`Placement2D` (x, y, rotation about z, optional board
+side / z offset) maps that local frame into board coordinates.  Only rigid
+transforms are needed — the placement tool never scales or shears geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .vec import Vec2, Vec3, deg_to_rad
+
+__all__ = ["Placement2D", "Transform3D", "normalize_angle", "angle_between"]
+
+
+def normalize_angle(angle_rad: float) -> float:
+    """Wrap an angle into [0, 2*pi)."""
+    two_pi = 2.0 * math.pi
+    a = math.fmod(angle_rad, two_pi)
+    if a < 0.0:
+        a += two_pi
+    if a >= two_pi:  # rounding of (-eps + 2*pi) can land exactly on 2*pi
+        a -= two_pi
+    return a
+
+
+def angle_between(a_rad: float, b_rad: float) -> float:
+    """Smallest absolute angular difference between two directions, in [0, pi]."""
+    d = normalize_angle(a_rad - b_rad)
+    return min(d, 2.0 * math.pi - d)
+
+
+@dataclass(frozen=True)
+class Placement2D:
+    """Position + rotation of a component on the board plane.
+
+    Attributes:
+        position: component origin in board coordinates (metres).
+        rotation_rad: counter-clockwise rotation about the board normal.
+        z_offset: base height of the component above the board surface
+            (non-zero for parts on standoffs or stacked boards).
+        side: ``+1`` for the top side, ``-1`` for the bottom side of the
+            board (bottom-side parts are mirrored through the board plane
+            by the 3-D lift in :meth:`to_transform3d`).
+    """
+
+    position: Vec2
+    rotation_rad: float = 0.0
+    z_offset: float = 0.0
+    side: int = 1
+
+    def __post_init__(self) -> None:
+        if self.side not in (1, -1):
+            raise ValueError(f"side must be +1 or -1, got {self.side}")
+
+    def apply(self, local: Vec2) -> Vec2:
+        """Map a local 2-D point into board coordinates."""
+        return local.rotated(self.rotation_rad) + self.position
+
+    def apply_direction(self, local_dir: Vec2) -> Vec2:
+        """Rotate a local direction into board coordinates (no translation)."""
+        return local_dir.rotated(self.rotation_rad)
+
+    def inverse_apply(self, world: Vec2) -> Vec2:
+        """Map a board-coordinate point back into the local frame."""
+        return (world - self.position).rotated(-self.rotation_rad)
+
+    def moved_to(self, position: Vec2) -> "Placement2D":
+        """Copy with a new position."""
+        return Placement2D(position, self.rotation_rad, self.z_offset, self.side)
+
+    def rotated_to(self, rotation_rad: float) -> "Placement2D":
+        """Copy with a new absolute rotation."""
+        return Placement2D(self.position, rotation_rad, self.z_offset, self.side)
+
+    def translated(self, delta: Vec2) -> "Placement2D":
+        """Copy shifted by ``delta``."""
+        return Placement2D(self.position + delta, self.rotation_rad, self.z_offset, self.side)
+
+    def to_transform3d(self) -> "Transform3D":
+        """Lift into a 3-D transform (rotation about z, then translation)."""
+        return Transform3D(
+            translation=Vec3(self.position.x, self.position.y, self.z_offset),
+            rotation_z_rad=self.rotation_rad,
+            mirror_z=(self.side == -1),
+        )
+
+    @property
+    def rotation_deg(self) -> float:
+        """Rotation in degrees (convenience for the ASCII interface)."""
+        return self.rotation_rad * 180.0 / math.pi
+
+    @staticmethod
+    def at(x: float, y: float, rotation_deg: float = 0.0, side: int = 1) -> "Placement2D":
+        """Convenience constructor taking degrees."""
+        return Placement2D(Vec2(x, y), deg_to_rad(rotation_deg), side=side)
+
+
+@dataclass(frozen=True)
+class Transform3D:
+    """Rigid 3-D transform restricted to what board placement needs.
+
+    The transform applies, in order: optional mirror through the local z = 0
+    plane (bottom-side mounting), rotation about the z axis, translation.
+    This subset is closed under the composition the placer performs and keeps
+    the math trivially invertible.
+    """
+
+    translation: Vec3
+    rotation_z_rad: float = 0.0
+    mirror_z: bool = False
+
+    def apply(self, local: Vec3) -> Vec3:
+        """Map a local 3-D point into world coordinates."""
+        p = Vec3(local.x, local.y, -local.z) if self.mirror_z else local
+        return p.rotated_z(self.rotation_z_rad) + self.translation
+
+    def apply_direction(self, local_dir: Vec3) -> Vec3:
+        """Rotate (and possibly mirror) a direction vector; no translation."""
+        d = Vec3(local_dir.x, local_dir.y, -local_dir.z) if self.mirror_z else local_dir
+        return d.rotated_z(self.rotation_z_rad)
+
+    def inverse_apply(self, world: Vec3) -> Vec3:
+        """Map a world point back into the local frame."""
+        p = (world - self.translation).rotated_z(-self.rotation_z_rad)
+        return Vec3(p.x, p.y, -p.z) if self.mirror_z else p
+
+    @staticmethod
+    def identity() -> "Transform3D":
+        """The identity transform."""
+        return Transform3D(Vec3.zero())

@@ -1,0 +1,225 @@
+"""Small fixed-dimension vector types used throughout the geometry kernel.
+
+The placement tool and the PEEC engine both work on explicit coordinates, so
+these types are deliberately lightweight: immutable dataclasses backed by
+plain floats, with numpy interop (``as_array``) where the field solvers need
+vectorised math.  Units are SI metres everywhere unless a function says
+otherwise (the ASCII interface and some component catalogues use millimetres
+and convert at the boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Vec2", "Vec3", "EPS", "almost_equal", "deg_to_rad", "rad_to_deg"]
+
+#: Geometric tolerance, in metres, for coincidence tests.  One nanometre is
+#: far below any manufacturable feature and above float64 noise for
+#: board-scale (<1 m) coordinates.
+EPS = 1e-9
+
+
+def almost_equal(a: float, b: float, tol: float = EPS) -> bool:
+    """Return True if ``a`` and ``b`` differ by at most ``tol``."""
+    return abs(a - b) <= tol
+
+
+def deg_to_rad(angle_deg: float) -> float:
+    """Convert degrees to radians."""
+    return angle_deg * math.pi / 180.0
+
+
+def rad_to_deg(angle_rad: float) -> float:
+    """Convert radians to degrees."""
+    return angle_rad * 180.0 / math.pi
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """An immutable 2-D vector / point in the board plane."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Scalar (dot) product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids the sqrt in hot loops)."""
+        return self.x * self.x + self.y * self.y
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        n = self.norm()
+        if n < EPS:
+            raise ZeroDivisionError("cannot normalise a (near-)zero Vec2")
+        return Vec2(self.x / n, self.y / n)
+
+    def perp(self) -> "Vec2":
+        """The vector rotated +90 degrees (counter-clockwise)."""
+        return Vec2(-self.y, self.x)
+
+    def rotated(self, angle_rad: float) -> "Vec2":
+        """The vector rotated counter-clockwise by ``angle_rad``."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def angle(self) -> float:
+        """Polar angle in radians, in (-pi, pi]."""
+        return math.atan2(self.y, self.x)
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to another point."""
+        return (self - other).norm()
+
+    def as_array(self) -> np.ndarray:
+        """Return the coordinates as a (2,) float64 numpy array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def as_vec3(self, z: float = 0.0) -> "Vec3":
+        """Lift into 3-D at height ``z``."""
+        return Vec3(self.x, self.y, z)
+
+    def is_close(self, other: "Vec2", tol: float = EPS) -> bool:
+        """Component-wise closeness test."""
+        return almost_equal(self.x, other.x, tol) and almost_equal(self.y, other.y, tol)
+
+    @staticmethod
+    def zero() -> "Vec2":
+        """The origin."""
+        return Vec2(0.0, 0.0)
+
+    @staticmethod
+    def from_polar(radius: float, angle_rad: float) -> "Vec2":
+        """Construct from polar coordinates."""
+        return Vec2(radius * math.cos(angle_rad), radius * math.sin(angle_rad))
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3-D vector / point (board plane is z = 0)."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vec3") -> float:
+        """Scalar (dot) product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        """Vector (cross) product."""
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.dot(self))
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length."""
+        return self.dot(self)
+
+    def normalized(self) -> "Vec3":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        n = self.norm()
+        if n < EPS:
+            raise ZeroDivisionError("cannot normalise a (near-)zero Vec3")
+        return Vec3(self.x / n, self.y / n, self.z / n)
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance to another point."""
+        return (self - other).norm()
+
+    def as_array(self) -> np.ndarray:
+        """Return the coordinates as a (3,) float64 numpy array."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def xy(self) -> Vec2:
+        """Project onto the board plane."""
+        return Vec2(self.x, self.y)
+
+    def rotated_z(self, angle_rad: float) -> "Vec3":
+        """Rotate about the +z axis (board normal), counter-clockwise."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Vec3(c * self.x - s * self.y, s * self.x + c * self.y, self.z)
+
+    def mirrored_z(self, plane_z: float = 0.0) -> "Vec3":
+        """Mirror through the horizontal plane at ``plane_z`` (image method)."""
+        return Vec3(self.x, self.y, 2.0 * plane_z - self.z)
+
+    def is_close(self, other: "Vec3", tol: float = EPS) -> bool:
+        """Component-wise closeness test."""
+        return (
+            almost_equal(self.x, other.x, tol)
+            and almost_equal(self.y, other.y, tol)
+            and almost_equal(self.z, other.z, tol)
+        )
+
+    @staticmethod
+    def zero() -> "Vec3":
+        """The origin."""
+        return Vec3(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_array(arr: np.ndarray) -> "Vec3":
+        """Construct from any length-3 sequence."""
+        return Vec3(float(arr[0]), float(arr[1]), float(arr[2]))

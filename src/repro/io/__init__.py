@@ -1,0 +1,12 @@
+"""ASCII-file interface of the placement tool (read/write problems)."""
+
+from .ascii import AsciiFormatError, read_problem, write_problem
+from .netlist_import import default_part_for, problem_from_netlist
+
+__all__ = [
+    "read_problem",
+    "write_problem",
+    "AsciiFormatError",
+    "problem_from_netlist",
+    "default_part_for",
+]

@@ -1,0 +1,126 @@
+"""Building a placement problem from a SPICE-style netlist.
+
+The paper's tool reads "all placement relevant circuit data (e.g. 3D
+description of the components, net list)"; this importer provides the
+netlist half from the simulator's own format: each R/L/C/V card becomes a
+library part (by an explicit part map, or by value-based defaults), and
+the shared circuit nodes become placement nets.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, parse_netlist
+from ..circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from ..components import (
+    BobbinChoke,
+    CeramicCapacitor,
+    ChipResistor,
+    Component,
+    Connector,
+    ElectrolyticCapacitor,
+    FilmCapacitorX2,
+)
+from ..geometry import Polygon2D
+from ..placement import Board, PlacedComponent, PlacementProblem
+
+__all__ = ["problem_from_netlist", "default_part_for"]
+
+
+def default_part_for(element) -> Component | None:
+    """A sensible library part for a primitive element, by value.
+
+    Capacitors: >= 10 µF electrolytic, >= 100 nF film, below that MLCC.
+    Inductors: bobbin chokes.  Resistors: 1206 chips.  Sources: edge
+    connectors (they are board I/O).  Returns None for elements with no
+    physical footprint of their own (expanded parasitics etc.).
+    """
+    if isinstance(element, Capacitor):
+        if element.capacitance >= 10e-6:
+            return ElectrolyticCapacitor(part_number=f"{element.name}-ELKO")
+        if element.capacitance >= 100e-9:
+            return FilmCapacitorX2(
+                part_number=f"{element.name}-FILM", capacitance=element.capacitance
+            )
+        return CeramicCapacitor(
+            part_number=f"{element.name}-MLCC", capacitance=element.capacitance
+        )
+    if isinstance(element, Inductor):
+        return BobbinChoke(
+            part_number=f"{element.name}-CHOKE", rated_inductance=element.inductance
+        )
+    if isinstance(element, Resistor):
+        return ChipResistor(part_number=f"{element.name}-R", resistance=element.resistance)
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        return Connector(part_number=f"{element.name}-CONN")
+    return None
+
+
+def problem_from_netlist(
+    netlist_text: str,
+    board_width: float = 0.08,
+    board_height: float = 0.06,
+    part_map: dict[str, Component] | None = None,
+) -> PlacementProblem:
+    """Parse a netlist and build the corresponding placement problem.
+
+    Expanded parasitic elements (``X.ESL``, ``X.ESR`` …) collapse back into
+    their parent card, so a ``C1 a 0 1u esr=10m esl=5n`` line yields one
+    placeable part ``C1``.
+
+    Args:
+        netlist_text: SPICE-flavoured netlist (see
+            :func:`repro.circuit.parse_netlist`).
+        board_width, board_height: board outline [m].
+        part_map: explicit card-name -> component overrides; cards not in
+            the map use :func:`default_part_for`.
+
+    Raises:
+        ValueError: when the netlist yields no placeable part.
+    """
+    circuit: Circuit = parse_netlist(netlist_text)
+    part_map = part_map or {}
+
+    board = Board(0, Polygon2D.rectangle(0.0, 0.0, board_width, board_height))
+    problem = PlacementProblem([board])
+
+    # Collapse expanded parasitics: "C1.C" / "C1.ESR" / "C1.ESL" -> "C1".
+    cards: dict[str, list] = {}
+    for element in circuit.elements:
+        card = element.name.split(".")[0].split("#")[0]
+        cards.setdefault(card, []).append(element)
+
+    node_pins: dict[str, list[tuple[str, str]]] = {}
+    for card, elements in sorted(cards.items()):
+        component = part_map.get(card)
+        if component is None:
+            component = default_part_for(elements[0])
+        if component is None:
+            continue
+        problem.add_component(PlacedComponent(card, component))
+        # Terminal nodes of the card = nodes touched exactly once within it
+        # (internal expansion nodes are touched twice).
+        touch_count: dict[str, int] = {}
+        for element in elements:
+            for node in element.nodes():
+                touch_count[node] = touch_count.get(node, 0) + 1
+        terminals = [n for n, count in touch_count.items() if count == 1]
+        if not terminals:  # single self-contained element
+            terminals = list(elements[0].nodes())
+        pads = [p.name for p in component.pads] or ["1", "2"]
+        for i, node in enumerate(sorted(terminals)[: len(pads)]):
+            node_pins.setdefault(node, []).append((card, pads[i]))
+
+    if not problem.components:
+        raise ValueError("netlist contains no placeable parts")
+
+    for node, pins in sorted(node_pins.items()):
+        if node in ("0", "GND", "gnd") or len(pins) < 2:
+            continue
+        problem.add_net(f"N_{node}", pins)
+    return problem

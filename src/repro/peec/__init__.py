@@ -1,0 +1,81 @@
+"""PEEC field engine: partial inductances, coupling factors, field maps.
+
+The Partial Element Equivalent Circuit method discretises only the current-
+carrying structures of the design into straight filaments; loop and mutual
+inductances follow from analytic and quadrature partial-inductance formulas,
+ferrite cores are handled by an effective-permeability correction, and a
+solid ground plane by image currents.
+"""
+
+from .capacitance import (
+    EPS0,
+    equivalent_radius,
+    mutual_capacitance_spheres,
+    plate_capacitance,
+    sphere_self_capacitance,
+)
+from .field import b_field, b_field_filament, b_field_grid, field_magnitude_map
+from .filament import (
+    MU0,
+    Filament,
+    mutual_inductance,
+    mutual_inductance_parallel,
+    neumann_mutual_inductance,
+    self_inductance_bar,
+)
+from .images import image_path, shielding_factor, with_ground_plane
+from .inductance import (
+    coupling_factor,
+    loop_self_inductance,
+    mutual_inductance_paths,
+    mutual_inductance_paths_fast,
+    partial_inductance_matrix,
+)
+from .mesh import CurrentPath, rectangle_path, ring_path
+from .permeability import (
+    AIR_CORE,
+    FERRITE_3C90,
+    FERRITE_N87,
+    IRON_POWDER_26,
+    CoreMaterial,
+    demagnetizing_factor_rod,
+    effective_permeability,
+    stray_coupling_scale,
+)
+
+__all__ = [
+    "MU0",
+    "EPS0",
+    "sphere_self_capacitance",
+    "mutual_capacitance_spheres",
+    "plate_capacitance",
+    "equivalent_radius",
+    "Filament",
+    "mutual_inductance",
+    "mutual_inductance_parallel",
+    "neumann_mutual_inductance",
+    "self_inductance_bar",
+    "CurrentPath",
+    "ring_path",
+    "rectangle_path",
+    "coupling_factor",
+    "loop_self_inductance",
+    "mutual_inductance_paths",
+    "mutual_inductance_paths_fast",
+    "partial_inductance_matrix",
+    "b_field",
+    "b_field_filament",
+    "b_field_grid",
+    "field_magnitude_map",
+    "image_path",
+    "with_ground_plane",
+    "shielding_factor",
+    "CoreMaterial",
+    "demagnetizing_factor_rod",
+    "effective_permeability",
+    "stray_coupling_scale",
+    "AIR_CORE",
+    "FERRITE_N87",
+    "FERRITE_3C90",
+    "IRON_POWDER_26",
+]

@@ -1,0 +1,257 @@
+"""Partial inductances of straight current filaments.
+
+The PEEC method (Ruehli 1974) discretises only the conducting structures of
+a circuit into straight segments and computes *partial* self and mutual
+inductances for them; summing over a closed current path yields loop
+inductances and, between two paths, the mutual inductance that drives
+magnetic interference coupling.
+
+Three calculations live here:
+
+* the **Neumann double integral** for the mutual inductance of two arbitrary
+  filaments, evaluated with nested Gauss–Legendre quadrature;
+* the **closed form** for parallel filaments (used both as a fast path and
+  as an independent cross-check of the quadrature);
+* Ruehli's approximation for the **partial self-inductance of a rectangular
+  bar**, which regularises the divergent filament self-term with the
+  conductor cross-section.
+
+All quantities are SI (metres, henries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..geometry import Transform3D, Vec3
+
+__all__ = [
+    "MU0",
+    "Filament",
+    "mutual_inductance",
+    "mutual_inductance_parallel",
+    "neumann_mutual_inductance",
+    "self_inductance_bar",
+]
+
+#: Vacuum permeability [H/m].
+MU0 = 4.0e-7 * math.pi
+
+#: Default Gauss–Legendre order per filament for the Neumann integral.
+_DEFAULT_ORDER = 12
+
+# Cache of Gauss–Legendre nodes/weights on [0, 1] by order.
+_GL_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _gauss_legendre_01(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of Gauss–Legendre quadrature mapped onto [0, 1]."""
+    cached = _GL_CACHE.get(order)
+    if cached is None:
+        x, w = np.polynomial.legendre.leggauss(order)
+        cached = (0.5 * (x + 1.0), 0.5 * w)
+        _GL_CACHE[order] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class Filament:
+    """A straight current filament with an associated conductor cross-section.
+
+    Attributes:
+        start: start point [m].
+        end: end point [m].
+        width: conductor width [m] — used only for the self-term.
+        thickness: conductor thickness [m] — used only for the self-term.
+        weight: signed current weight.  A filament traversed by ``n`` turns
+            of the winding carries ``weight = n``; image filaments carry a
+            negated weight.
+    """
+
+    start: Vec3
+    end: Vec3
+    width: float = 1e-3
+    thickness: float = 35e-6
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.thickness <= 0.0:
+            raise ValueError("filament cross-section must be positive")
+        if self.length < 1e-12:
+            raise ValueError("zero-length filament")
+
+    @property
+    def length(self) -> float:
+        """Filament length [m]."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def direction(self) -> Vec3:
+        """Unit vector from start to end."""
+        return (self.end - self.start).normalized()
+
+    @property
+    def midpoint(self) -> Vec3:
+        """Geometric midpoint."""
+        return (self.start + self.end) * 0.5
+
+    def transformed(self, transform: Transform3D) -> "Filament":
+        """Filament mapped through a rigid transform (weight preserved)."""
+        return replace(self, start=transform.apply(self.start), end=transform.apply(self.end))
+
+    def reversed(self) -> "Filament":
+        """Same geometry, opposite traversal direction."""
+        return replace(self, start=self.end, end=self.start)
+
+    def mirrored_z(self, plane_z: float) -> "Filament":
+        """Geometric mirror through the plane ``z = plane_z`` (weight kept).
+
+        Image-current construction (geometry mirror + weight negation) is
+        done by :mod:`repro.peec.images`, which owns the sign convention.
+        """
+        return replace(
+            self, start=self.start.mirrored_z(plane_z), end=self.end.mirrored_z(plane_z)
+        )
+
+    def split(self, pieces: int) -> list["Filament"]:
+        """Subdivide into ``pieces`` equal filaments (for near-field accuracy)."""
+        if pieces < 1:
+            raise ValueError("pieces must be >= 1")
+        delta = (self.end - self.start) / pieces
+        return [
+            replace(self, start=self.start + delta * i, end=self.start + delta * (i + 1))
+            for i in range(pieces)
+        ]
+
+    def self_inductance(self) -> float:
+        """Partial self-inductance of this filament's rectangular bar [H]."""
+        return self_inductance_bar(self.length, self.width, self.thickness)
+
+
+def self_inductance_bar(length: float, width: float, thickness: float) -> float:
+    """Partial self-inductance of a straight rectangular bar (Ruehli).
+
+    ``L = (mu0 * l / 2pi) * (ln(2l/(w+t)) + 0.5 + 0.2235 (w+t)/l)``
+
+    The formula assumes ``l`` of the same order as or larger than ``w+t``;
+    for very stubby bars the logarithm can go negative, in which case the
+    result is clamped to a small positive value proportional to the length —
+    stubby segments contribute negligibly to loop inductance anyway.
+    """
+    if length <= 0.0:
+        raise ValueError("length must be positive")
+    if width <= 0.0 or thickness <= 0.0:
+        raise ValueError("cross-section must be positive")
+    wt = width + thickness
+    value = (MU0 * length / (2.0 * math.pi)) * (
+        math.log(2.0 * length / wt) + 0.5 + 0.2235 * wt / length
+    )
+    floor = MU0 * length / (20.0 * math.pi)
+    return max(value, floor)
+
+
+def neumann_mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER) -> float:
+    """Mutual partial inductance via the Neumann double integral [H].
+
+    ``M = (mu0 / 4pi) (t1 . t2) * l1 * l2 * sum_ij w_i w_j / r_ij``
+
+    evaluated with an ``order`` x ``order`` Gauss–Legendre rule.  Accurate to
+    better than 0.1 % once the filament separation exceeds roughly a quarter
+    of the filament length; closer pairs are subdivided by the caller
+    (:func:`mutual_inductance` handles that automatically).
+
+    Note: the geometric weights of the filaments are *not* applied — this is
+    the raw pairwise partial inductance.
+    """
+    t1 = f1.direction
+    t2 = f2.direction
+    cos_angle = t1.dot(t2)
+    if abs(cos_angle) < 1e-12:
+        return 0.0  # Perpendicular filaments do not couple (dl1 . dl2 = 0).
+
+    nodes, weights = _gauss_legendre_01(order)
+    a = f1.start.as_array()
+    d1 = (f1.end - f1.start).as_array()
+    b = f2.start.as_array()
+    d2 = (f2.end - f2.start).as_array()
+
+    p1 = a[None, :] + nodes[:, None] * d1[None, :]  # (n, 3)
+    p2 = b[None, :] + nodes[:, None] * d2[None, :]  # (n, 3)
+    diff = p1[:, None, :] - p2[None, :, :]  # (n, n, 3)
+    r = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    r = np.maximum(r, 1e-12)
+    integral = float(weights @ (1.0 / r) @ weights)
+    return MU0 / (4.0 * math.pi) * cos_angle * f1.length * f2.length * integral
+
+
+def mutual_inductance_parallel(f1: Filament, f2: Filament) -> float:
+    """Closed-form mutual inductance of two parallel filaments [H].
+
+    Uses the textbook antiderivative ``Phi(u) = u asinh(u/d) - sqrt(u^2+d^2)``
+    of the axial-offset kernel:
+
+    ``M = (mu0/4pi) [Phi(a2-b1) - Phi(a2-b2) - Phi(a1-b1) + Phi(a1-b2)]``
+
+    where ``a``/``b`` are axial coordinates of the filament ends and ``d``
+    is the perpendicular distance between the carrier lines.  The sign
+    follows the traversal directions (anti-parallel filaments get M < 0).
+
+    Raises:
+        ValueError: if the filaments are not parallel (within 1e-9 rad).
+    """
+    t1 = f1.direction
+    t2 = f2.direction
+    cos_angle = t1.dot(t2)
+    if abs(abs(cos_angle) - 1.0) > 1e-9:
+        raise ValueError("filaments are not parallel")
+    sign = 1.0 if cos_angle > 0.0 else -1.0
+
+    # Axial coordinates along t1, perpendicular offset of line 2 from line 1.
+    # For anti-parallel filaments b2 < b1; the Phi combination below then
+    # evaluates to a negative number, which is exactly the physical sign.
+    a1 = 0.0
+    a2 = f1.length
+    rel_start = f2.start - f1.start
+    b1 = rel_start.dot(t1)
+    b2 = b1 + sign * f2.length
+    perp = rel_start - t1 * rel_start.dot(t1)
+    d = perp.norm()
+    if d < 1e-12:
+        # Collinear filaments: the kernel is singular if they overlap;
+        # offset by a tiny distance consistent with a thin conductor.
+        d = 1e-9
+
+    def phi(u: float) -> float:
+        return u * math.asinh(u / d) - math.sqrt(u * u + d * d)
+
+    total = phi(a2 - b1) - phi(a2 - b2) - phi(a1 - b1) + phi(a1 - b2)
+    return MU0 / (4.0 * math.pi) * total
+
+
+def _are_parallel(f1: Filament, f2: Filament) -> bool:
+    return abs(abs(f1.direction.dot(f2.direction)) - 1.0) < 1e-12
+
+
+def mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER) -> float:
+    """Mutual partial inductance of two filaments, choosing the best method.
+
+    Parallel pairs use the exact closed form.  Skewed pairs use quadrature,
+    with automatic subdivision when the pair is close relative to its length
+    (the Neumann kernel then varies too quickly for a low-order rule).
+    """
+    if _are_parallel(f1, f2):
+        return mutual_inductance_parallel(f1, f2)
+
+    gap = f1.midpoint.distance_to(f2.midpoint)
+    longest = max(f1.length, f2.length)
+    if gap > 1e-12 and longest / gap > 4.0:
+        pieces = min(8, int(math.ceil(longest / gap / 2.0)))
+        total = 0.0
+        for s1 in f1.split(pieces):
+            for s2 in f2.split(pieces):
+                total += neumann_mutual_inductance(s1, s2, order)
+        return total
+    return neumann_mutual_inductance(f1, f2, order)

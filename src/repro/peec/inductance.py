@@ -1,0 +1,150 @@
+"""Loop and mutual inductance of current paths, and coupling factors.
+
+These routines aggregate the filament-level partial inductances of
+:mod:`repro.peec.filament` into the quantities the EMI flow actually uses:
+
+* ``loop_self_inductance(path)`` — the self-inductance of a component's
+  internal current loop (its ESL contribution from geometry);
+* ``mutual_inductance_paths(a, b)`` — the mutual inductance between two
+  placed components, the raw ingredient of interference coupling;
+* ``coupling_factor(a, b)`` — the dimensionless ``k = M / sqrt(La * Lb)``
+  that the sensitivity analysis and the design rules work with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filament import Filament, mutual_inductance
+from .mesh import CurrentPath
+
+__all__ = [
+    "loop_self_inductance",
+    "mutual_inductance_paths",
+    "mutual_inductance_paths_fast",
+    "coupling_factor",
+    "partial_inductance_matrix",
+]
+
+
+def partial_inductance_matrix(filaments: list[Filament], order: int = 12) -> np.ndarray:
+    """Dense symmetric matrix of partial inductances for a filament list.
+
+    Diagonal entries are rectangular-bar self-terms; off-diagonals are
+    Neumann mutuals.  Weights are *not* applied — this is the raw PEEC
+    matrix, useful for inspecting a discretisation.
+    """
+    n = len(filaments)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        matrix[i, i] = filaments[i].self_inductance()
+        for j in range(i + 1, n):
+            m = mutual_inductance(filaments[i], filaments[j], order)
+            matrix[i, j] = m
+            matrix[j, i] = m
+    return matrix
+
+
+def loop_self_inductance(path: CurrentPath, order: int = 12) -> float:
+    """Self-inductance of a current path [H].
+
+    ``L = sum_i w_i^2 L_ii + sum_{i != j} w_i w_j M_ij`` — the double sum
+    over the path's own filaments with their signed turn weights.  For a
+    physically sensible loop the result is positive; a negative value
+    indicates a broken discretisation and raises.
+    """
+    fils = path.filaments
+    n = len(fils)
+    total = 0.0
+    for i in range(n):
+        wi = fils[i].weight
+        total += wi * wi * fils[i].self_inductance()
+        for j in range(i + 1, n):
+            total += 2.0 * wi * fils[j].weight * mutual_inductance(fils[i], fils[j], order)
+    if total <= 0.0:
+        raise ValueError(
+            f"non-positive loop inductance ({total:.3e} H) for path {path.name!r}: "
+            "check filament directions/weights"
+        )
+    return total
+
+
+def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> float:
+    """Mutual inductance between two current paths [H] (signed).
+
+    The sign encodes the relative winding sense under the chosen terminal
+    current directions; the EMI circuit model carries it through so that
+    field cancellation by opposed orientation (the paper's design rule)
+    is representable.
+    """
+    total = 0.0
+    for fa in a.filaments:
+        for fb in b.filaments:
+            total += fa.weight * fb.weight * mutual_inductance(fa, fb, order)
+    return total
+
+
+def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8) -> float:
+    """Vectorised mutual inductance between two *disjoint* paths [H].
+
+    Evaluates the Neumann integral for every filament pair in one numpy
+    broadcast.  Valid when the two paths belong to different components —
+    i.e. no filament pair overlaps or nearly touches — which is exactly the
+    coupling-sweep use case; accuracy there is within a fraction of a
+    percent of the scalar :func:`mutual_inductance_paths` at a fraction of
+    the cost.  For a path against itself use :func:`loop_self_inductance`.
+    """
+    from .filament import MU0, _gauss_legendre_01
+
+    nodes, weights = _gauss_legendre_01(order)
+    g = len(nodes)
+
+    def pack(path: CurrentPath) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        starts = np.array([[f.start.x, f.start.y, f.start.z] for f in path.filaments])
+        ends = np.array([[f.end.x, f.end.y, f.end.z] for f in path.filaments])
+        w = np.array([f.weight for f in path.filaments])
+        deltas = ends - starts
+        lengths = np.linalg.norm(deltas, axis=1)
+        return starts, deltas, lengths, w
+
+    s_a, d_a, len_a, w_a = pack(a)
+    s_b, d_b, len_b, w_b = pack(b)
+    na, nb = len(len_a), len(len_b)
+
+    # Quadrature points: (na, g, 3) and (nb, g, 3).
+    p_a = s_a[:, None, :] + nodes[None, :, None] * d_a[:, None, :]
+    p_b = s_b[:, None, :] + nodes[None, :, None] * d_b[:, None, :]
+
+    # Pairwise 1/r integrals: result (na, nb).
+    diff = p_a[:, None, :, None, :] - p_b[None, :, None, :, :]  # (na, nb, g, g, 3)
+    r = np.sqrt(np.einsum("abijk,abijk->abij", diff, diff))
+    np.maximum(r, 1e-12, out=r)
+    integral = np.einsum("i,j,abij->ab", weights, weights, 1.0 / r)
+
+    # Direction cosines and length products.
+    t_a = d_a / len_a[:, None]
+    t_b = d_b / len_b[:, None]
+    cos = t_a @ t_b.T
+    scale = (len_a[:, None] * len_b[None, :]) * cos * (w_a[:, None] * w_b[None, :])
+    return float(MU0 / (4.0 * np.pi) * np.sum(scale * integral))
+
+
+def coupling_factor(
+    a: CurrentPath,
+    b: CurrentPath,
+    la: float | None = None,
+    lb: float | None = None,
+    order: int = 12,
+) -> float:
+    """Magnetic coupling factor ``k = M / sqrt(La * Lb)`` (signed).
+
+    Passing precomputed self-inductances avoids recomputing them in sweeps
+    where only the relative placement changes (self-L is placement
+    invariant).
+    """
+    if la is None:
+        la = loop_self_inductance(a, order)
+    if lb is None:
+        lb = loop_self_inductance(b, order)
+    m = mutual_inductance_paths(a, b, order)
+    return m / np.sqrt(la * lb)

@@ -1,0 +1,47 @@
+"""EMI-unaware baseline placer — the paper's "unfavourable placement".
+
+The paper's Figs. 1/2 compare two layouts with *"the same components,
+circuit topology and placement area"* where only EMI awareness differs, and
+notes both *"obey all commonly known EMC design rules"* — the baseline is
+not sloppy, it is simply blind to magnetic coupling.
+
+:class:`BaselinePlacer` therefore runs the very same sequential engine with
+the minimum-distance rules disabled and compactness/wirelength weighted up:
+the result is a tight, production-plausible layout that happens to park
+filter components inside each other's stray fields.
+"""
+
+from __future__ import annotations
+
+from .model import PlacementProblem
+from .placer import AutoPlacer, PlacementReport, PlacerWeights
+
+__all__ = ["BaselinePlacer"]
+
+
+class BaselinePlacer:
+    """Wirelength/compactness-driven placement ignoring coupling rules."""
+
+    def __init__(self, problem: PlacementProblem):
+        self.problem = problem
+
+    def run(self) -> PlacementReport:
+        """Place all components tightly, without the EMC min distances.
+
+        Raises:
+            PlacementError: when even the unconstrained problem does not
+                fit the board (genuinely too small an area).
+        """
+        placer = AutoPlacer(
+            self.problem,
+            optimize_rotation=False,
+            partition=False,
+            respect_min_distance=False,
+            weights=PlacerWeights(
+                wirelength=1.5,
+                group_cohesion=1.0,
+                compactness=1.0,
+                emd_margin=0.0,
+            ),
+        )
+        return placer.run()

@@ -1,0 +1,128 @@
+"""Candidate-location generation on the continuous plane.
+
+The paper's placer works *"on the continuous plane (no grid placement)"*;
+legal locations are found by combining several generators, each aimed at a
+different packing situation:
+
+* **corner candidates** — the corners of already-placed obstacles, inflated
+  by the new part's half-extents plus clearance: the classic
+  bottom-left-fill positions that produce tight packings;
+* **ring candidates** — points on circles of radius EMD (+margin) around
+  the new part's rule partners: *just barely far enough*, which keeps
+  EMC-constrained parts as close as the rules allow;
+* **area candidates** — eroded-boundary and coarse interior samples of the
+  placement area, covering the empty-board and sparse cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import Polygon2D, Vec2
+from .model import PlacedComponent, PlacementProblem
+
+__all__ = ["CandidateGenerator"]
+
+
+class CandidateGenerator:
+    """Produces candidate centre positions for one component."""
+
+    def __init__(self, problem: PlacementProblem, boundary_spacing: float = 6e-3):
+        self.problem = problem
+        self.boundary_spacing = boundary_spacing
+
+    def _areas_for(self, comp: PlacedComponent) -> list[Polygon2D]:
+        board = self.problem.board(comp.board)
+        areas = board.areas or [board.default_area()]
+        if comp.allowed_areas:
+            filtered = [a for a in areas if a.name in comp.allowed_areas]
+            if filtered:
+                areas = filtered
+        if comp.preferred_area is not None:
+            preferred = [a for a in areas if a.name == comp.preferred_area]
+            rest = [a for a in areas if a.name != comp.preferred_area]
+            areas = preferred + rest
+        return [a.polygon for a in areas]
+
+    def corner_candidates(self, comp: PlacedComponent, rotation_deg: float) -> list[Vec2]:
+        """Inflated-obstacle corner positions (tight-packing generator)."""
+        half = self._half_extent(comp, rotation_deg)
+        clearance = max(self.problem.default_clearance, comp.component.clearance)
+        out: list[Vec2] = []
+        for other in self.problem.placed():
+            if other.board != comp.board or other.refdes == comp.refdes:
+                continue
+            rect = other.footprint_aabb().inflated(
+                max(half.x, half.y) + clearance + 1e-4
+            )
+            out.extend(rect.corners())
+            # Edge midpoints help slide along rows of parts.
+            out.append(Vec2(rect.xmin, (rect.ymin + rect.ymax) / 2.0))
+            out.append(Vec2(rect.xmax, (rect.ymin + rect.ymax) / 2.0))
+            out.append(Vec2((rect.xmin + rect.xmax) / 2.0, rect.ymin))
+            out.append(Vec2((rect.xmin + rect.xmax) / 2.0, rect.ymax))
+        return out
+
+    def ring_candidates(
+        self, comp: PlacedComponent, ring_specs: list[tuple[Vec2, float]], points: int = 16
+    ) -> list[Vec2]:
+        """Points on circles around rule partners (EMD-tight generator).
+
+        Args:
+            ring_specs: (centre, radius) pairs, radius already including
+                the needed margin.
+        """
+        out: list[Vec2] = []
+        for center, radius in ring_specs:
+            if radius <= 0.0:
+                continue
+            for i in range(points):
+                angle = 2.0 * math.pi * i / points
+                out.append(center + Vec2.from_polar(radius, angle))
+        return out
+
+    def area_candidates(self, comp: PlacedComponent, rotation_deg: float) -> list[Vec2]:
+        """Boundary and interior samples of the allowed areas."""
+        half = self._half_extent(comp, rotation_deg)
+        margin = max(half.x, half.y)
+        out: list[Vec2] = []
+        for polygon in self._areas_for(comp):
+            eroded = polygon.eroded(margin)
+            target = eroded if eroded is not None else polygon
+            out.extend(target.boundary_samples(self.boundary_spacing))
+            out.append(target.centroid())
+            # Coarse interior grid for sparse boards.
+            xmin, ymin, xmax, ymax = target.bbox()
+            step = max(self.boundary_spacing * 2.0, (xmax - xmin) / 8.0 or 1e-3)
+            out.extend(target.grid_samples(step))
+        return out
+
+    def all_candidates(
+        self,
+        comp: PlacedComponent,
+        rotation_deg: float,
+        ring_specs: list[tuple[Vec2, float]] | None = None,
+    ) -> list[Vec2]:
+        """The union of all generators, deduplicated on a 0.5 mm lattice."""
+        raw = (
+            self.corner_candidates(comp, rotation_deg)
+            + self.ring_candidates(comp, ring_specs or [])
+            + self.area_candidates(comp, rotation_deg)
+        )
+        seen: set[tuple[int, int]] = set()
+        out: list[Vec2] = []
+        q = 0.5e-3
+        for p in raw:
+            key = (round(p.x / q), round(p.y / q))
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+        return out
+
+    def _half_extent(self, comp: PlacedComponent, rotation_deg: float) -> Vec2:
+        w = comp.component.footprint_w
+        h = comp.component.footprint_h
+        rad = math.radians(rotation_deg)
+        ex = abs(math.cos(rad)) * w / 2.0 + abs(math.sin(rad)) * h / 2.0
+        ey = abs(math.sin(rad)) * w / 2.0 + abs(math.cos(rad)) * h / 2.0
+        return Vec2(ex, ey)

@@ -1,0 +1,77 @@
+"""Automatic volume minimisation — the adviser loop, batch-mode.
+
+The paper leaves volume minimisation to the user ("the user can try to
+minimize the system volume using the provided interactive functionality").
+This utility automates the obvious strategy: repeatedly walk every movable
+component one step towards the layout centroid, keeping only steps the
+online DRC accepts, until a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .interactive import InteractiveSession
+from .metrics import placement_area
+from .model import PlacementProblem
+
+__all__ = ["CompactionResult", "compact_layout"]
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of a compaction run."""
+
+    area_before: float
+    area_after: float
+    moves: int
+    passes: int
+
+    @property
+    def reduction(self) -> float:
+        """Fractional bounding-area reduction (0..1)."""
+        if self.area_before <= 0.0:
+            return 0.0
+        return 1.0 - self.area_after / self.area_before
+
+
+def compact_layout(
+    problem: PlacementProblem,
+    step: float = 1e-3,
+    max_passes: int = 20,
+) -> CompactionResult:
+    """Shrink a legal layout in place; legality is preserved by construction.
+
+    Args:
+        problem: a placed problem (illegal layouts are compacted too — the
+            guard only ever *rejects* moves, so it cannot repair them).
+        step: per-move translation distance [m].
+        max_passes: bound on full sweeps over the components.
+
+    Returns:
+        Area bookkeeping; the problem's placements are updated in place.
+    """
+    if step <= 0.0:
+        raise ValueError("step must be positive")
+    session = InteractiveSession(problem)
+    area_before = placement_area(problem)
+    moves = 0
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        moved_this_pass = 0
+        for ref in list(problem.components):
+            comp = problem.components[ref]
+            if comp.fixed or not comp.is_placed:
+                continue
+            if session.compact_step(ref, step=step) is not None:
+                moved_this_pass += 1
+        moves += moved_this_pass
+        if moved_this_pass == 0:
+            break
+    return CompactionResult(
+        area_before=area_before,
+        area_after=placement_area(problem),
+        moves=moves,
+        passes=passes,
+    )

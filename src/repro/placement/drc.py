@@ -1,0 +1,329 @@
+"""Design-rule checking with red/green visualisation geometry.
+
+The paper's interactive adviser: *"Online design rule checks visualize
+design rule violations immediately by changing the colors"* and the result
+figures show *"magnetic coupling violating the design rules (indicated by
+red circles)"* / *"all specified minimum distance rules are met (indicated
+by green circles)"*.
+
+Every check returns typed :class:`Violation` records carrying the geometry
+needed for those markers; :meth:`DesignRuleChecker.rule_markers` emits one
+circle per min-distance rule, coloured by compliance — the Fig. 15/17
+rendering data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Vec2
+from ..rules import MinDistanceRule, emd_for_pair
+from .metrics import group_spread, net_hpwl
+from .model import PlacementProblem
+
+__all__ = ["Violation", "RuleMarker", "DesignRuleChecker"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation.
+
+    Attributes:
+        kind: rule discriminator ("overlap", "clearance", "min_distance",
+            "keepin", "keepout", "group", "net_length").
+        refs: the reference designators involved.
+        required: the constraint value (metres for distances).
+        actual: the observed value.
+        location: a representative board point for the marker.
+        message: human-readable description.
+    """
+
+    kind: str
+    refs: tuple[str, ...]
+    required: float
+    actual: float
+    location: Vec2
+    message: str
+
+    @property
+    def deficit(self) -> float:
+        """How far the rule is missed (positive for violations)."""
+        return self.required - self.actual
+
+
+@dataclass(frozen=True)
+class RuleMarker:
+    """Visualisation circle for one pairwise rule (red when violated)."""
+
+    ref_a: str
+    ref_b: str
+    center: Vec2
+    radius: float
+    satisfied: bool
+
+    @property
+    def color(self) -> str:
+        """SVG colour of the marker."""
+        return "green" if self.satisfied else "red"
+
+
+class DesignRuleChecker:
+    """Checks a :class:`PlacementProblem` against its rule set."""
+
+    def __init__(self, problem: PlacementProblem):
+        self.problem = problem
+
+    # -- individual checks --------------------------------------------------
+
+    def check_body_spacing(self, only: str | None = None) -> list[Violation]:
+        """Overlap / clearance between component bodies (AABB + clearance)."""
+        out: list[Violation] = []
+        placed = self.problem.placed()
+        for i in range(len(placed)):
+            for j in range(i + 1, len(placed)):
+                a, b = placed[i], placed[j]
+                if only is not None and only not in (a.refdes, b.refdes):
+                    continue
+                if a.board != b.board:
+                    continue
+                required = self.problem.rules.clearance_for(
+                    a.refdes,
+                    b.refdes,
+                    max(
+                        self.problem.default_clearance,
+                        a.component.clearance,
+                        b.component.clearance,
+                    ),
+                )
+                ra, rb = a.footprint_aabb(), b.footprint_aabb()
+                actual = ra.separation(rb)
+                # 1 um grace keeps exactly-at-clearance layouts (and their
+                # ASCII round-trips) legal despite float formatting.
+                tolerance = 1e-6
+                if ra.overlaps(rb):
+                    mid = (a.center() + b.center()) / 2.0
+                    out.append(
+                        Violation(
+                            "overlap",
+                            (a.refdes, b.refdes),
+                            required,
+                            0.0,
+                            mid,
+                            f"{a.refdes} overlaps {b.refdes}",
+                        )
+                    )
+                elif actual < required - tolerance:
+                    mid = (a.center() + b.center()) / 2.0
+                    out.append(
+                        Violation(
+                            "clearance",
+                            (a.refdes, b.refdes),
+                            required,
+                            actual,
+                            mid,
+                            f"{a.refdes}-{b.refdes} clearance "
+                            f"{actual * 1e3:.2f} mm < {required * 1e3:.2f} mm",
+                        )
+                    )
+        return out
+
+    def check_min_distances(self, only: str | None = None) -> list[Violation]:
+        """The EMC rules: centre distance >= EMD = PEMD * |cos(alpha)|."""
+        out: list[Violation] = []
+        for rule in self.problem.rules.min_distance:
+            if only is not None and only not in (rule.ref_a, rule.ref_b):
+                continue
+            violation = self._min_distance_violation(rule)
+            if violation is not None:
+                out.append(violation)
+        return out
+
+    def _min_distance_violation(self, rule: MinDistanceRule) -> Violation | None:
+        a = self.problem.components.get(rule.ref_a)
+        b = self.problem.components.get(rule.ref_b)
+        if a is None or b is None or not (a.is_placed and b.is_placed):
+            return None
+        if a.board != b.board:
+            return None
+        emd = emd_for_pair(
+            a.component, a.placement, b.component, b.placement, rule.pemd, rule.residual
+        )
+        actual = a.center().distance_to(b.center())
+        if actual + 1e-12 >= emd:
+            return None
+        mid = (a.center() + b.center()) / 2.0
+        return Violation(
+            "min_distance",
+            (rule.ref_a, rule.ref_b),
+            emd,
+            actual,
+            mid,
+            f"{rule.ref_a}-{rule.ref_b} EMD {emd * 1e3:.1f} mm "
+            f"> distance {actual * 1e3:.1f} mm (PEMD {rule.pemd * 1e3:.1f} mm)",
+        )
+
+    def check_keepin(self, only: str | None = None) -> list[Violation]:
+        """Footprints must lie inside an allowed placement area."""
+        out: list[Violation] = []
+        for comp in self.problem.placed():
+            if only is not None and comp.refdes != only:
+                continue
+            board = self.problem.board(comp.board)
+            areas = board.areas or [board.default_area()]
+            if comp.allowed_areas:
+                areas = [a for a in areas if a.name in comp.allowed_areas]
+                if not areas:
+                    areas = [board.default_area()]
+            rect = comp.footprint_aabb()
+            if not any(area.contains_footprint(rect) for area in areas):
+                out.append(
+                    Violation(
+                        "keepin",
+                        (comp.refdes,),
+                        0.0,
+                        0.0,
+                        comp.center(),
+                        f"{comp.refdes} outside its allowed placement area(s)",
+                    )
+                )
+        return out
+
+    def check_keepouts(self, only: str | None = None) -> list[Violation]:
+        """Bodies must not intersect 3-D keepout volumes (z-offset aware)."""
+        out: list[Violation] = []
+        for comp in self.problem.placed():
+            if only is not None and comp.refdes != only:
+                continue
+            board = self.problem.board(comp.board)
+            body = comp.body_cuboid()
+            for keepout in board.keepouts:
+                if body.overlaps(keepout.cuboid):
+                    out.append(
+                        Violation(
+                            "keepout",
+                            (comp.refdes,),
+                            0.0,
+                            0.0,
+                            comp.center(),
+                            f"{comp.refdes} intrudes into keepout {keepout.name!r}",
+                        )
+                    )
+        return out
+
+    def check_groups(self) -> list[Violation]:
+        """Functional groups must be coherent and exclusive.
+
+        Two conditions: spread within the rule's bound (when a
+        GroupCoherenceRule exists), and no foreign component closer to the
+        group centroid than its outermost member (exclusivity — groups end
+        up in *separate coherent areas*).
+        """
+        from .metrics import group_centroid
+
+        out: list[Violation] = []
+        for rule in self.problem.rules.groups:
+            members = [
+                self.problem.components[r]
+                for r in rule.members
+                if r in self.problem.components and self.problem.components[r].is_placed
+            ]
+            if len(members) < 2:
+                continue
+            spread = group_spread(self.problem, rule.group)
+            if spread > rule.max_spread:
+                centroid = group_centroid(self.problem, rule.group) or Vec2.zero()
+                out.append(
+                    Violation(
+                        "group",
+                        tuple(rule.members),
+                        rule.max_spread,
+                        spread,
+                        centroid,
+                        f"group {rule.group!r} spread {spread * 1e3:.1f} mm "
+                        f"> {rule.max_spread * 1e3:.1f} mm",
+                    )
+                )
+        return out
+
+    def check_net_lengths(self) -> list[Violation]:
+        """Total net length bounds."""
+        out: list[Violation] = []
+        by_name = {n.name: n for n in self.problem.nets}
+        for rule in self.problem.rules.net_lengths:
+            net = by_name.get(rule.net)
+            if net is None:
+                continue
+            length = net_hpwl(self.problem, net)
+            if length > rule.max_length:
+                refs = tuple(sorted(net.refdes_set()))
+                first = self.problem.components.get(refs[0]) if refs else None
+                loc = first.center() if first is not None and first.is_placed else Vec2.zero()
+                out.append(
+                    Violation(
+                        "net_length",
+                        refs,
+                        rule.max_length,
+                        length,
+                        loc,
+                        f"net {rule.net!r} length {length * 1e3:.1f} mm "
+                        f"> {rule.max_length * 1e3:.1f} mm",
+                    )
+                )
+        return out
+
+    # -- aggregate interfaces -------------------------------------------------
+
+    def check_all(self) -> list[Violation]:
+        """Every rule category, concatenated."""
+        return (
+            self.check_body_spacing()
+            + self.check_min_distances()
+            + self.check_keepin()
+            + self.check_keepouts()
+            + self.check_groups()
+            + self.check_net_lengths()
+        )
+
+    def check_component(self, refdes: str) -> list[Violation]:
+        """Incremental check for one (moved) component — the online DRC."""
+        return (
+            self.check_body_spacing(only=refdes)
+            + self.check_min_distances(only=refdes)
+            + self.check_keepin(only=refdes)
+            + self.check_keepouts(only=refdes)
+            + self.check_groups()
+        )
+
+    def is_legal(self) -> bool:
+        """True when the layout satisfies every rule."""
+        return not self.check_all()
+
+    def rule_markers(self) -> list[RuleMarker]:
+        """One circle per min-distance rule — the red/green Fig. 15/17 data.
+
+        The circle is centred between the pair with radius EMD/2, so two
+        touching circles mean the rule is exactly met.
+        """
+        markers: list[RuleMarker] = []
+        for rule in self.problem.rules.min_distance:
+            a = self.problem.components.get(rule.ref_a)
+            b = self.problem.components.get(rule.ref_b)
+            if a is None or b is None or not (a.is_placed and b.is_placed):
+                continue
+            if a.board != b.board:
+                continue
+            emd = emd_for_pair(
+                a.component, a.placement, b.component, b.placement, rule.pemd, rule.residual
+            )
+            actual = a.center().distance_to(b.center())
+            mid = (a.center() + b.center()) / 2.0
+            markers.append(
+                RuleMarker(
+                    ref_a=rule.ref_a,
+                    ref_b=rule.ref_b,
+                    center=mid,
+                    radius=max(emd / 2.0, 1e-4),
+                    satisfied=actual + 1e-12 >= emd,
+                )
+            )
+        return markers

@@ -1,0 +1,310 @@
+"""Placement data model: boards, areas, keepouts, components, nets, groups.
+
+Mirrors the constraint system of the paper's tool (section 4):
+
+* *"1 or 2 rigid connected boards can be given for placement"*
+* *"different arbitrary shaped placement areas, keepins and 3D keepouts
+  with/without z-offset"*
+* *"preplaced components"*
+* *"allowed and preferred placement areas and rotation angles for each
+  component"*
+* *"clearances"*, *"groups of components"*, *"maximum total length of
+  electrical nets"*, *"minimal distance rules for component pairs"*.
+
+The live state is :class:`PlacementProblem`; rules live in a
+:class:`repro.rules.RuleSet` referenced by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..components import Component
+from ..geometry import Cuboid, OrientedRect, Placement2D, Polygon2D, Rect, Vec2
+from ..rules import RuleSet
+
+__all__ = [
+    "PlacementArea",
+    "Keepout3D",
+    "Board",
+    "PlacedComponent",
+    "Net",
+    "Group",
+    "PlacementProblem",
+    "PlacementError",
+]
+
+
+class PlacementError(RuntimeError):
+    """Raised when the automatic placer cannot produce a legal layout."""
+
+
+@dataclass
+class PlacementArea:
+    """A named region where components may be placed (a keepin)."""
+
+    name: str
+    polygon: Polygon2D
+    board: int = 0
+
+    def contains_footprint(self, rect: Rect) -> bool:
+        """True if an axis-aligned footprint lies fully inside."""
+        return self.polygon.contains_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+
+
+@dataclass
+class Keepout3D:
+    """A blocked volume; the z-offset admits parts shorter than the gap."""
+
+    name: str
+    cuboid: Cuboid
+    board: int = 0
+
+
+@dataclass
+class Board:
+    """One rigid board: outline, placement areas and keepouts.
+
+    A solid ground plane (``ground_plane = True``) shields magnetic
+    couplings; the flow threads this through to the field simulations.
+    """
+
+    index: int
+    outline: Polygon2D
+    areas: list[PlacementArea] = field(default_factory=list)
+    keepouts: list[Keepout3D] = field(default_factory=list)
+    ground_plane: bool = True
+
+    def area_by_name(self, name: str) -> PlacementArea:
+        """Look up a placement area.
+
+        Raises:
+            KeyError: when the area does not exist on this board.
+        """
+        for area in self.areas:
+            if area.name == name:
+                return area
+        raise KeyError(f"board {self.index} has no area {name!r}")
+
+    def default_area(self) -> PlacementArea:
+        """The whole outline as an implicit area when none are defined."""
+        if self.areas:
+            return self.areas[0]
+        return PlacementArea(f"board{self.index}", self.outline, self.index)
+
+
+@dataclass
+class PlacedComponent:
+    """A component instance on (or destined for) a board.
+
+    Attributes:
+        refdes: unique reference designator ("C3", "L1", ...).
+        component: the library part (geometry + field + parasitics).
+        placement: current pose, or None while unplaced.
+        board: board index the part is assigned to.
+        fixed: preplaced parts the placer must not move.
+        group: functional group name, or None.
+        allowed_areas: names of areas the part may occupy (empty = any).
+        preferred_area: area the placer tries first.
+        allowed_rotations_deg: override of the part's default rotation set.
+        preferred_rotation_deg: rotation the placer favours when the EMC
+            rules leave a choice (the paper's "preferred ... rotation
+            angles for each component").
+    """
+
+    refdes: str
+    component: Component
+    placement: Placement2D | None = None
+    board: int = 0
+    fixed: bool = False
+    group: str | None = None
+    allowed_areas: tuple[str, ...] = ()
+    preferred_area: str | None = None
+    allowed_rotations_deg: tuple[float, ...] | None = None
+    preferred_rotation_deg: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.refdes:
+            raise ValueError("a placed component needs a refdes")
+
+    @property
+    def is_placed(self) -> bool:
+        """Whether the part currently has a pose."""
+        return self.placement is not None
+
+    def rotations(self) -> tuple[float, ...]:
+        """The rotation angles the placer may choose from [deg], with the
+        preferred angle (when allowed) listed first."""
+        allowed = (
+            self.allowed_rotations_deg
+            if self.allowed_rotations_deg is not None
+            else self.component.allowed_rotations_deg
+        )
+        if (
+            self.preferred_rotation_deg is not None
+            and self.preferred_rotation_deg in allowed
+        ):
+            rest = tuple(a for a in allowed if a != self.preferred_rotation_deg)
+            return (self.preferred_rotation_deg,) + rest
+        return allowed
+
+    def footprint_aabb(self) -> Rect:
+        """Rectilinear approximation of the placed footprint.
+
+        Raises:
+            ValueError: if the part is unplaced.
+        """
+        if self.placement is None:
+            raise ValueError(f"{self.refdes} is not placed")
+        oriented = OrientedRect.from_footprint(
+            self.component.footprint_w, self.component.footprint_h, self.placement
+        )
+        return oriented.aabb()
+
+    def body_cuboid(self) -> Cuboid:
+        """The 3-D body volume (for keepout checks)."""
+        if self.placement is None:
+            raise ValueError(f"{self.refdes} is not placed")
+        return Cuboid(
+            self.footprint_aabb(),
+            self.placement.z_offset,
+            self.placement.z_offset + self.component.body_height,
+        )
+
+    def center(self) -> Vec2:
+        """Placement position.
+
+        Raises:
+            ValueError: if unplaced.
+        """
+        if self.placement is None:
+            raise ValueError(f"{self.refdes} is not placed")
+        return self.placement.position
+
+
+@dataclass
+class Net:
+    """An electrical net connecting component pins."""
+
+    name: str
+    pins: list[tuple[str, str]] = field(default_factory=list)  # (refdes, pad)
+
+    def refdes_set(self) -> set[str]:
+        """Components touched by the net."""
+        return {ref for ref, _ in self.pins}
+
+
+@dataclass
+class Group:
+    """A functional group that must occupy a coherent area."""
+
+    name: str
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 1:
+            raise ValueError(f"group {self.name!r} has no members")
+
+
+@dataclass
+class PlacementProblem:
+    """Everything the placer and the DRC need, in one object."""
+
+    boards: list[Board]
+    components: dict[str, PlacedComponent] = field(default_factory=dict)
+    nets: list[Net] = field(default_factory=list)
+    groups: list[Group] = field(default_factory=list)
+    rules: RuleSet = field(default_factory=RuleSet)
+    default_clearance: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.boards) <= 2:
+            raise ValueError("the tool supports 1 or 2 boards")
+
+    # -- construction -----------------------------------------------------
+
+    def add_component(self, placed: PlacedComponent) -> PlacedComponent:
+        """Register a component instance.
+
+        Raises:
+            ValueError: on duplicate refdes.
+        """
+        if placed.refdes in self.components:
+            raise ValueError(f"duplicate refdes {placed.refdes!r}")
+        self.components[placed.refdes] = placed
+        return placed
+
+    def add_net(self, name: str, pins: list[tuple[str, str]]) -> Net:
+        """Register a net; pins reference existing components.
+
+        Raises:
+            KeyError: if a pin references an unknown refdes.
+        """
+        for ref, _pad in pins:
+            if ref not in self.components:
+                raise KeyError(f"net {name!r}: unknown refdes {ref!r}")
+        net = Net(name, list(pins))
+        self.nets.append(net)
+        return net
+
+    def define_group(self, name: str, members: list[str]) -> Group:
+        """Create a functional group and tag its members.
+
+        Raises:
+            KeyError: for unknown members.
+        """
+        for ref in members:
+            if ref not in self.components:
+                raise KeyError(f"group {name!r}: unknown refdes {ref!r}")
+        group = Group(name, tuple(members))
+        self.groups.append(group)
+        for ref in members:
+            self.components[ref].group = name
+        return group
+
+    # -- queries -------------------------------------------------------------
+
+    def board(self, index: int) -> Board:
+        """Board by index.
+
+        Raises:
+            KeyError: for an invalid index.
+        """
+        for b in self.boards:
+            if b.index == index:
+                return b
+        raise KeyError(f"no board {index}")
+
+    def placed(self) -> list[PlacedComponent]:
+        """All currently placed components."""
+        return [c for c in self.components.values() if c.is_placed]
+
+    def unplaced(self) -> list[PlacedComponent]:
+        """Components still awaiting a pose."""
+        return [c for c in self.components.values() if not c.is_placed]
+
+    def group_members(self, name: str) -> list[PlacedComponent]:
+        """Members of a functional group."""
+        for g in self.groups:
+            if g.name == name:
+                return [self.components[r] for r in g.members]
+        raise KeyError(f"no group {name!r}")
+
+    def nets_touching(self, refdes: str) -> list[Net]:
+        """Nets with a pin on the given component."""
+        return [n for n in self.nets if refdes in n.refdes_set()]
+
+    def pair_count(self) -> int:
+        """n(n-1)/2 — the paper's bound on definable minimum distances."""
+        n = len(self.components)
+        return n * (n - 1) // 2
+
+    def clone_state(self) -> dict[str, Placement2D | None]:
+        """Snapshot of all placements (for undo / what-if)."""
+        return {ref: c.placement for ref, c in self.components.items()}
+
+    def restore_state(self, state: dict[str, Placement2D | None]) -> None:
+        """Restore a placement snapshot."""
+        for ref, placement in state.items():
+            if ref in self.components:
+                self.components[ref].placement = placement

@@ -1,0 +1,199 @@
+"""Step 2 of the automatic method: circuit partitioning onto two boards.
+
+Paper, section 4: *"2) Partitioning (optional) — In the case of two boards
+for placement the circuit can be partitioned.  The resulting partitions are
+assigned to board sides for placement."*
+
+Implementation: a Fiduccia–Mattheyses-flavoured move-based bipartitioner on
+the net graph.  Functional groups are contracted into super-nodes (a group
+may never be split across boards — it must stay in one coherent area), and
+fixed/preplaced components pin their unit to its current board.  Balance is
+measured in *footprint area*, not component count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import PlacementProblem
+
+__all__ = ["PartitionResult", "Partitioner"]
+
+
+@dataclass
+class PartitionResult:
+    """Assignment and quality metrics of one partitioning run."""
+
+    assignment: dict[str, int]
+    cut_nets: int
+    area_balance: float  # |areaA - areaB| / (areaA + areaB)
+    passes: int
+
+
+class Partitioner:
+    """Area-balanced min-cut bipartitioning with group contraction."""
+
+    def __init__(self, problem: PlacementProblem, balance_tolerance: float = 0.2):
+        if len(problem.boards) != 2:
+            raise ValueError("partitioning needs exactly two boards")
+        if not 0.0 < balance_tolerance < 1.0:
+            raise ValueError("balance tolerance must be in (0, 1)")
+        self.problem = problem
+        self.balance_tolerance = balance_tolerance
+
+    # -- graph construction -------------------------------------------------
+
+    def _units(self) -> dict[str, list[str]]:
+        """Unit name -> member refdes (groups contracted)."""
+        units: dict[str, list[str]] = {}
+        grouped: set[str] = set()
+        for group in self.problem.groups:
+            units[f"group:{group.name}"] = list(group.members)
+            grouped.update(group.members)
+        for ref in self.problem.components:
+            if ref not in grouped:
+                units[ref] = [ref]
+        return units
+
+    def _unit_area(self, members: list[str]) -> float:
+        return sum(
+            self.problem.components[r].component.footprint_area() for r in members
+        )
+
+    def _unit_nets(self, units: dict[str, list[str]]) -> dict[str, set[str]]:
+        """Net name -> set of unit names it touches."""
+        owner: dict[str, str] = {}
+        for unit, members in units.items():
+            for ref in members:
+                owner[ref] = unit
+        net_units: dict[str, set[str]] = {}
+        for net in self.problem.nets:
+            touched = {owner[r] for r in net.refdes_set() if r in owner}
+            if len(touched) > 1:
+                net_units[net.name] = touched
+        return net_units
+
+    # -- algorithm ---------------------------------------------------------
+
+    def run(self) -> PartitionResult:
+        """Partition and apply the board assignment to the components."""
+        units = self._units()
+        areas = {u: self._unit_area(m) for u, m in units.items()}
+        net_units = self._unit_nets(units)
+        total_area = sum(areas.values()) or 1.0
+
+        # Pinned units (containing fixed or already-assigned-and-placed parts).
+        pinned: dict[str, int] = {}
+        for unit, members in units.items():
+            for ref in members:
+                comp = self.problem.components[ref]
+                if comp.fixed:
+                    pinned[unit] = comp.board
+                    break
+
+        # Greedy initial assignment: big units first onto the lighter board.
+        side: dict[str, int] = dict(pinned)
+        load = {0: 0.0, 1: 0.0}
+        for unit in pinned:
+            load[side[unit]] += areas[unit]
+        for unit in sorted(units, key=lambda u: areas[u], reverse=True):
+            if unit in side:
+                continue
+            board = 0 if load[0] <= load[1] else 1
+            side[unit] = board
+            load[board] += areas[unit]
+
+        def cut_count() -> int:
+            return sum(
+                1
+                for touched in net_units.values()
+                if len({side[u] for u in touched}) > 1
+            )
+
+        def balanced_after_move(unit: str, to: int) -> bool:
+            new_load = dict(load)
+            new_load[side[unit]] -= areas[unit]
+            new_load[to] += areas[unit]
+            imbalance = abs(new_load[0] - new_load[1]) / total_area
+            return imbalance <= self.balance_tolerance
+
+        def balanced_after_swap(unit_a: str, unit_b: str) -> bool:
+            new_load = dict(load)
+            new_load[side[unit_a]] += areas[unit_b] - areas[unit_a]
+            new_load[side[unit_b]] += areas[unit_a] - areas[unit_b]
+            imbalance = abs(new_load[0] - new_load[1]) / total_area
+            return imbalance <= self.balance_tolerance
+
+        def apply_swap(unit_a: str, unit_b: str) -> None:
+            side[unit_a], side[unit_b] = side[unit_b], side[unit_a]
+            load[side[unit_b]] += areas[unit_b] - areas[unit_a]
+            load[side[unit_a]] += areas[unit_a] - areas[unit_b]
+
+        # FM-style improvement: positive-gain single moves, balance-neutral
+        # pair swaps, and a bounded number of *sideways* swaps (equal cut)
+        # to walk off plateaus — with a one-step tabu against undoing the
+        # previous sideways swap.  Everything is deterministic.
+        passes = 0
+        improved = True
+        movable = [u for u in units if u not in pinned]
+        sideways_budget = len(movable)
+        tabu_pair: tuple[str, str] | None = None
+        while improved and passes < 4 * max(1, len(movable)):
+            passes += 1
+            improved = False
+            base_cut = cut_count()
+            for unit in movable:
+                to = 1 - side[unit]
+                if not balanced_after_move(unit, to):
+                    continue
+                old = side[unit]
+                side[unit] = to
+                new_cut = cut_count()
+                if new_cut < base_cut:
+                    load[old] -= areas[unit]
+                    load[to] += areas[unit]
+                    base_cut = new_cut
+                    improved = True
+                else:
+                    side[unit] = old
+            sideways_candidate: tuple[str, str] | None = None
+            for i, unit_a in enumerate(movable):
+                for unit_b in movable[i + 1 :]:
+                    if side[unit_a] == side[unit_b]:
+                        continue
+                    if not balanced_after_swap(unit_a, unit_b):
+                        continue
+                    side[unit_a], side[unit_b] = side[unit_b], side[unit_a]
+                    new_cut = cut_count()
+                    side[unit_a], side[unit_b] = side[unit_b], side[unit_a]
+                    if new_cut < base_cut:
+                        apply_swap(unit_a, unit_b)
+                        base_cut = new_cut
+                        improved = True
+                        tabu_pair = None
+                    elif (
+                        new_cut == base_cut
+                        and sideways_candidate is None
+                        and (unit_a, unit_b) != tabu_pair
+                    ):
+                        sideways_candidate = (unit_a, unit_b)
+            if not improved and sideways_candidate and sideways_budget > 0:
+                apply_swap(*sideways_candidate)
+                tabu_pair = sideways_candidate
+                sideways_budget -= 1
+                improved = True
+
+        # Apply to components.
+        assignment: dict[str, int] = {}
+        for unit, members in units.items():
+            for ref in members:
+                assignment[ref] = side[unit]
+                self.problem.components[ref].board = side[unit]
+
+        imbalance = abs(load[0] - load[1]) / total_area
+        return PartitionResult(
+            assignment=assignment,
+            cut_nets=cut_count(),
+            area_balance=imbalance,
+            passes=passes,
+        )

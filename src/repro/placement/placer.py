@@ -1,0 +1,330 @@
+"""Step 3 of the automatic method: sequential prioritised placement.
+
+Paper, section 4: *"Based on a design rule depending prioritization of the
+components, they are placed on board sequentially"*, on the continuous
+plane, with all objects rectilinearly approximated by rectangles/cuboids.
+
+The placer consumes the rotation plan (step 1) and the board partition
+(step 2), orders components by *rule pressure* (how much minimum-distance
+budget and area they demand), and for each component scores the legal
+candidates by a weighted mix of wirelength, group cohesion and packing
+compactness.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..geometry import Placement2D, Rect, Vec2
+from ..rules import MinDistanceRule, emd_for_pair
+from .candidates import CandidateGenerator
+from .drc import DesignRuleChecker
+from .metrics import group_centroid, net_hpwl, total_wirelength
+from .model import PlacedComponent, PlacementError, PlacementProblem
+from .partition import Partitioner
+from .rotation import RotationOptimizer, RotationPlan
+
+__all__ = ["PlacerWeights", "PlacementReport", "AutoPlacer"]
+
+
+@dataclass(frozen=True)
+class PlacerWeights:
+    """Scoring weights for candidate evaluation (all costs in metres)."""
+
+    wirelength: float = 1.0
+    group_cohesion: float = 2.0
+    compactness: float = 0.3
+    emd_margin: float = 0.1
+
+
+@dataclass
+class PlacementReport:
+    """Outcome of one automatic placement run."""
+
+    placed_count: int
+    runtime_s: float
+    rotation_plan: RotationPlan | None
+    order: list[str] = field(default_factory=list)
+    violations_after: int = 0
+    wirelength: float = 0.0
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def legal(self) -> bool:
+        """True when every component was placed and the DRC is clean."""
+        return not self.failed and self.violations_after == 0
+
+
+class AutoPlacer:
+    """The three-step automatic placement method of the paper.
+
+    Args:
+        problem: the placement problem (mutated in place).
+        optimize_rotation: run step 1 (optimal rotation).
+        partition: run step 2 (only meaningful with two boards).
+        respect_min_distance: enforce the EMC rules during placement;
+            the EMI-unaware baseline sets this False (same engine, rules
+            ignored — the paper's Fig. 1 situation).
+        weights: candidate scoring weights.
+    """
+
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        optimize_rotation: bool = True,
+        partition: bool = False,
+        respect_min_distance: bool = True,
+        weights: PlacerWeights | None = None,
+    ):
+        self.problem = problem
+        self.optimize_rotation = optimize_rotation
+        self.partition = partition
+        self.respect_min_distance = respect_min_distance
+        self.weights = weights or PlacerWeights()
+        self._generator = CandidateGenerator(problem)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> PlacementReport:
+        """Execute rotation -> partition -> sequential placement.
+
+        Raises:
+            PlacementError: when some component finds no legal location
+                even after refinement (the report inside the exception
+                message lists the culprits).
+        """
+        t0 = time.perf_counter()
+
+        rotation_plan: RotationPlan | None = None
+        if self.optimize_rotation and self.respect_min_distance:
+            rotation_plan = RotationOptimizer(self.problem).optimize()
+
+        if self.partition and len(self.problem.boards) == 2:
+            Partitioner(self.problem).run()
+
+        order = self._priority_order()
+        failed: list[str] = []
+        for ref in order:
+            comp = self.problem.components[ref]
+            if comp.is_placed:
+                continue
+            if not self._place_one(comp, rotation_plan):
+                failed.append(ref)
+
+        if failed:
+            raise PlacementError(
+                f"no legal location found for: {', '.join(failed)} "
+                f"(placed {len(self.problem.placed())} of "
+                f"{len(self.problem.components)})"
+            )
+
+        checker = DesignRuleChecker(self.problem)
+        violations = checker.check_all() if self.respect_min_distance else (
+            checker.check_body_spacing() + checker.check_keepin() + checker.check_keepouts()
+        )
+        return PlacementReport(
+            placed_count=len(self.problem.placed()),
+            runtime_s=time.perf_counter() - t0,
+            rotation_plan=rotation_plan,
+            order=order,
+            violations_after=len(violations),
+            wirelength=total_wirelength(self.problem),
+        )
+
+    # -- ordering ------------------------------------------------------------
+
+    def _priority_order(self) -> list[str]:
+        """Design-rule-driven prioritisation, groups kept contiguous."""
+        problem = self.problem
+
+        def pressure(ref: str) -> float:
+            comp = problem.components[ref]
+            rule_budget = sum(
+                r.pemd for r in problem.rules.rules_involving(ref)
+            ) if self.respect_min_distance else 0.0
+            return (
+                rule_budget * 10.0
+                + comp.component.footprint_area() * 1e3
+                + len(problem.nets_touching(ref)) * 1e-3
+            )
+
+        unplaced = [c.refdes for c in problem.unplaced()]
+        by_pressure = sorted(unplaced, key=pressure, reverse=True)
+
+        # Pull whole groups forward to where their strongest member sits.
+        order: list[str] = []
+        seen: set[str] = set()
+        for ref in by_pressure:
+            if ref in seen:
+                continue
+            comp = problem.components[ref]
+            block = [ref]
+            if comp.group is not None:
+                members = [
+                    m.refdes
+                    for m in problem.group_members(comp.group)
+                    if not m.is_placed and m.refdes not in seen
+                ]
+                block = sorted(members, key=pressure, reverse=True)
+            for r in block:
+                order.append(r)
+                seen.add(r)
+        return order
+
+    # -- single-component placement ----------------------------------------
+
+    def _partner_rules(self, ref: str) -> list[MinDistanceRule]:
+        if not self.respect_min_distance:
+            return []
+        return self.problem.rules.rules_involving(ref)
+
+    def _place_one(self, comp: PlacedComponent, plan: RotationPlan | None) -> bool:
+        rotations = list(comp.rotations())
+        if plan is not None and comp.refdes in plan.rotations_deg:
+            preferred = plan.rotations_deg[comp.refdes]
+            if preferred in rotations:
+                rotations.remove(preferred)
+            rotations.insert(0, preferred)
+
+        for spacing_scale in (1.0, 0.5):
+            self._generator.boundary_spacing = 6e-3 * spacing_scale
+            for rotation in rotations:
+                best = self._best_candidate(comp, rotation)
+                if best is not None:
+                    comp.placement = Placement2D(best, math.radians(rotation))
+                    return True
+        return False
+
+    def _best_candidate(self, comp: PlacedComponent, rotation_deg: float) -> Vec2 | None:
+        problem = self.problem
+        rules = self._partner_rules(comp.refdes)
+        trial = Placement2D(Vec2.zero(), math.radians(rotation_deg))
+
+        # EMD ring specs around already-placed partners.
+        ring_specs: list[tuple[Vec2, float]] = []
+        partner_emd: list[tuple[PlacedComponent, float]] = []
+        for rule in rules:
+            other_ref = rule.ref_b if rule.ref_a == comp.refdes else rule.ref_a
+            other = problem.components.get(other_ref)
+            if other is None or not other.is_placed or other.board != comp.board:
+                continue
+            emd = emd_for_pair(
+                comp.component,
+                trial,
+                other.component,
+                other.placement,
+                rule.pemd,
+                rule.residual,
+            )
+            partner_emd.append((other, emd))
+            ring_specs.append((other.center(), emd * 1.02 + 1e-4))
+
+        candidates = self._generator.all_candidates(comp, rotation_deg, ring_specs)
+
+        obstacles = self._obstacles(comp)
+        areas = self._legal_areas(comp)
+        keepouts = problem.board(comp.board).keepouts
+        clearance = max(problem.default_clearance, comp.component.clearance)
+
+        best_pos: Vec2 | None = None
+        best_cost = math.inf
+        half = self._generator._half_extent(comp, rotation_deg)  # noqa: SLF001
+
+        for pos in candidates:
+            rect = Rect(pos.x - half.x, pos.y - half.y, pos.x + half.x, pos.y + half.y)
+            if not any(
+                area.contains_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+                for area in areas
+            ):
+                continue
+            inflated = rect.inflated(clearance)
+            if any(inflated.overlaps(ob) for ob in obstacles):
+                continue
+            if keepouts:
+                body = rect
+                z0 = 0.0
+                z1 = comp.component.body_height
+                blocked = False
+                for keepout in keepouts:
+                    if (
+                        body.overlaps(keepout.cuboid.rect)
+                        and z1 > keepout.cuboid.zmin
+                        and keepout.cuboid.zmax > z0
+                    ):
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+            ok = True
+            margin = math.inf
+            for other, emd in partner_emd:
+                d = pos.distance_to(other.center())
+                if d + 1e-9 < emd:
+                    ok = False
+                    break
+                margin = min(margin, d - emd)
+            if not ok:
+                continue
+            cost = self._cost(comp, pos, margin)
+            if cost < best_cost:
+                best_cost = cost
+                best_pos = pos
+        return best_pos
+
+    def _obstacles(self, comp: PlacedComponent) -> list[Rect]:
+        return [
+            other.footprint_aabb()
+            for other in self.problem.placed()
+            if other.board == comp.board and other.refdes != comp.refdes
+        ]
+
+    def _legal_areas(self, comp: PlacedComponent):
+        board = self.problem.board(comp.board)
+        areas = board.areas or [board.default_area()]
+        if comp.allowed_areas:
+            filtered = [a for a in areas if a.name in comp.allowed_areas]
+            if filtered:
+                areas = filtered
+        return [a.polygon for a in areas]
+
+    def _cost(self, comp: PlacedComponent, pos: Vec2, emd_margin: float) -> float:
+        problem = self.problem
+        w = self.weights
+        cost = 0.0
+
+        # Wirelength: HPWL of the touching nets with the part at pos.
+        if problem.nets:
+            original = comp.placement
+            comp.placement = Placement2D(pos, 0.0)
+            try:
+                cost += w.wirelength * sum(
+                    net_hpwl(problem, net) for net in problem.nets_touching(comp.refdes)
+                )
+            finally:
+                comp.placement = original
+
+        # Group cohesion: stay near the group's placed centroid.
+        if comp.group is not None:
+            centroid = group_centroid(problem, comp.group)
+            if centroid is not None:
+                cost += w.group_cohesion * pos.distance_to(centroid)
+
+        # Compactness: stay near the placed-set centroid (or area centroid).
+        anchor = self._anchor(comp)
+        cost += w.compactness * pos.distance_to(anchor)
+
+        # Slight preference for EMD slack (robustness against later moves).
+        if math.isfinite(emd_margin):
+            cost -= w.emd_margin * min(emd_margin, 5e-3)
+        return cost
+
+    def _anchor(self, comp: PlacedComponent) -> Vec2:
+        placed = [c for c in self.problem.placed() if c.board == comp.board]
+        if placed:
+            sx = sum(c.center().x for c in placed)
+            sy = sum(c.center().y for c in placed)
+            return Vec2(sx / len(placed), sy / len(placed))
+        areas = self._legal_areas(comp)
+        return areas[0].centroid()

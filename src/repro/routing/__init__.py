@@ -1,0 +1,26 @@
+"""Trace routing and trace parasitics: the board's connecting structures.
+
+A deterministic Manhattan router turns a placement into per-net routes;
+their partial inductances feed the circuit model ("inductances of lines")
+and their filament models can be field-coupled like any component loop.
+"""
+
+from .parasitics import (
+    INDUCTANCE_PER_LENGTH_ESTIMATE,
+    route_current_path,
+    route_inductance,
+    route_mutual_inductance,
+    via_inductance,
+)
+from .router import ManhattanRouter, Route, TraceSegment
+
+__all__ = [
+    "ManhattanRouter",
+    "Route",
+    "TraceSegment",
+    "route_inductance",
+    "route_current_path",
+    "route_mutual_inductance",
+    "via_inductance",
+    "INDUCTANCE_PER_LENGTH_ESTIMATE",
+]

@@ -1,0 +1,34 @@
+"""Design rules: PEMD derivation, the cos(alpha) EMD law, rule objects.
+
+Turns field-simulation results and sensitivity rankings into the pairwise
+minimum-distance system the placement tool enforces.
+"""
+
+from .derive import PemdDerivation, derive_pemd, derive_rule_set, pemd_table
+from .emd import axis_angle, effective_min_distance, emd_factor, emd_for_pair, worst_case_emd
+from .rule_types import (
+    ClearanceRule,
+    GroupCoherenceRule,
+    MinDistanceRule,
+    NetLengthRule,
+    Rule,
+    RuleSet,
+)
+
+__all__ = [
+    "Rule",
+    "MinDistanceRule",
+    "ClearanceRule",
+    "GroupCoherenceRule",
+    "NetLengthRule",
+    "RuleSet",
+    "axis_angle",
+    "emd_factor",
+    "effective_min_distance",
+    "emd_for_pair",
+    "worst_case_emd",
+    "derive_pemd",
+    "derive_rule_set",
+    "pemd_table",
+    "PemdDerivation",
+]

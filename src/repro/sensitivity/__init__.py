@@ -1,0 +1,9 @@
+"""Sensitivity analysis: which magnetic couplings influence the emissions.
+
+Reduces the quadratic number of candidate couplings to the short list that
+actually needs field simulation — the paper's key complexity lever.
+"""
+
+from .analysis import SensitivityAnalyzer, SensitivityEntry
+
+__all__ = ["SensitivityAnalyzer", "SensitivityEntry"]

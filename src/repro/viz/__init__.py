@@ -1,0 +1,18 @@
+"""Visualisation: SVG board renderings and ASCII spectra/heat maps."""
+
+from .ascii_plot import heatmap, series_table, spectrum_plot
+from .field_svg import render_field_svg
+from .csvout import couplings_to_csv, layout_to_csv, markers_to_csv, spectrum_to_csv
+from .svg import render_board_svg
+
+__all__ = [
+    "render_board_svg",
+    "render_field_svg",
+    "spectrum_plot",
+    "heatmap",
+    "series_table",
+    "spectrum_to_csv",
+    "couplings_to_csv",
+    "layout_to_csv",
+    "markers_to_csv",
+]

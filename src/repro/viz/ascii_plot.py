@@ -1,0 +1,111 @@
+"""Terminal plots: log-frequency spectra and field heat maps.
+
+The benchmark harness prints its series directly; these helpers make the
+printed output *readable* — a spectrum plot in the style of the paper's
+Figs. 1/2/12-14 (dBµV over log frequency with the segmented CISPR limit
+line) and a field-magnitude heat map in the style of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..emi import LimitLine, Spectrum
+
+__all__ = ["spectrum_plot", "heatmap", "series_table"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def spectrum_plot(
+    spectra: dict[str, Spectrum],
+    width: int = 78,
+    height: int = 20,
+    limit: LimitLine | None = None,
+    db_min: float = 0.0,
+    db_max: float | None = None,
+) -> str:
+    """ASCII dBµV-vs-log-f plot of one or more spectra.
+
+    Each spectrum gets a marker character (1, 2, 3, ... in legend order);
+    the limit line, when supplied, is drawn with ``L``.
+    """
+    if not spectra:
+        raise ValueError("need at least one spectrum")
+    markers = "12345678"
+    all_freqs = np.concatenate([s.freqs for s in spectra.values()])
+    f_lo, f_hi = float(all_freqs.min()), float(all_freqs.max())
+    if db_max is None:
+        db_max = max(float(np.max(s.dbuv())) for s in spectra.values()) + 5.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(freq: float) -> int:
+        t = (np.log10(freq) - np.log10(f_lo)) / (np.log10(f_hi) - np.log10(f_lo) or 1.0)
+        return int(np.clip(t * (width - 1), 0, width - 1))
+
+    def row(level: float) -> int:
+        t = (level - db_min) / (db_max - db_min or 1.0)
+        return int(np.clip((1.0 - t) * (height - 1), 0, height - 1))
+
+    if limit is not None:
+        for seg in limit.segments:
+            if seg.f_hi < f_lo or seg.f_lo > f_hi:
+                continue
+            r = row(seg.level_dbuv)
+            for c in range(col(max(seg.f_lo, f_lo)), col(min(seg.f_hi, f_hi)) + 1):
+                grid[r][c] = "L"
+
+    for (name, spectrum), marker in zip(spectra.items(), markers):
+        levels = spectrum.dbuv()
+        for f, level in zip(spectrum.freqs, levels):
+            grid[row(float(level))][col(float(f))] = marker
+
+    lines = [f"{db_max:6.1f} |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append("       |" + "".join(grid[r]))
+    lines.append(f"{db_min:6.1f} +" + "-" * width)
+    lines.append(
+        f"        {f_lo / 1e6:.2f} MHz" + " " * (width - 24) + f"{f_hi / 1e6:.1f} MHz"
+    )
+    legend = "  ".join(
+        f"[{marker}] {name}" for (name, _s), marker in zip(spectra.items(), markers)
+    )
+    if limit is not None:
+        legend += f"  [L] {limit.name}"
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(values: np.ndarray, width: int | None = None, log: bool = True) -> str:
+    """Render a 2-D magnitude array as ASCII shades (row 0 at the bottom)."""
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 2:
+        raise ValueError("heatmap expects a 2-D array")
+    if log:
+        v = np.log10(np.maximum(v, np.max(v) * 1e-6 if np.max(v) > 0 else 1e-30))
+    lo, hi = float(np.min(v)), float(np.max(v))
+    span = hi - lo or 1.0
+    rows = []
+    for row_vals in v[::-1]:
+        idx = ((row_vals - lo) / span * (len(_SHADES) - 1)).astype(int)
+        rows.append("".join(_SHADES[i] for i in idx))
+    return "\n".join(rows)
+
+
+def series_table(
+    headers: list[str], rows: list[list[object]], float_fmt: str = "{:.3g}"
+) -> str:
+    """A plain aligned text table for benchmark output."""
+    rendered: list[list[str]] = [headers]
+    for r in rows:
+        rendered.append(
+            [float_fmt.format(v) if isinstance(v, float) else str(v) for v in r]
+        )
+    widths = [max(len(row[i]) for row in rendered) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

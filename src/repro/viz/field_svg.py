@@ -1,0 +1,107 @@
+"""Board rendering with a stray-field underlay.
+
+The paper's Fig. 4 shows the magnetic field picture behind the coupling
+numbers; this renderer paints |B| of all placed components' current paths
+(1 A each) as a coloured cell layer under the usual board view — making
+"which part sprays field over which neighbour" visible on the actual
+layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..peec import field_magnitude_map
+from ..placement import PlacementProblem
+from .svg import render_board_svg
+
+__all__ = ["render_field_svg"]
+
+
+def _field_color(value: float) -> str:
+    """Map a normalised 0..1 field strength onto a white->red ramp."""
+    t = min(max(value, 0.0), 1.0)
+    red = 255
+    other = int(255 * (1.0 - 0.85 * t))
+    return f"rgb({red},{other},{other})"
+
+
+def render_field_svg(
+    problem: PlacementProblem,
+    board_index: int = 0,
+    resolution: int = 40,
+    z: float = 5e-3,
+    scale: float = 8.0,
+    title: str = "",
+) -> str:
+    """Render a board with a |B| heat layer beneath the components.
+
+    Args:
+        problem: a placed problem; unplaced parts are skipped.
+        board_index: which board to draw.
+        resolution: field-grid cells across the board's width.
+        z: field evaluation height above the board [m].
+        scale: pixels per millimetre (matches
+            :func:`repro.viz.render_board_svg`).
+        title: caption.
+
+    Raises:
+        ValueError: when no placed component provides a field source.
+    """
+    board = problem.board(board_index)
+    xmin, ymin, xmax, ymax = board.outline.bbox()
+
+    paths = [
+        comp.component.placed_current_path(comp.placement)
+        for comp in problem.placed()
+        if comp.board == board_index
+    ]
+    if not paths:
+        raise ValueError("no placed components to generate a field from")
+
+    nx = max(resolution, 8)
+    ny = max(int(resolution * (ymax - ymin) / (xmax - xmin)), 8)
+    xs = np.linspace(xmin, xmax, nx)
+    ys = np.linspace(ymin, ymax, ny)
+    mags = field_magnitude_map(paths, xs, ys, z=z)
+
+    # Log-normalise over 3 decades below the peak.
+    peak = float(np.max(mags))
+    floor = peak * 1e-3 if peak > 0 else 1.0
+    levels = (np.log10(np.maximum(mags, floor)) - np.log10(floor)) / 3.0
+
+    base = render_board_svg(
+        problem, board_index=board_index, show_markers=False, scale=scale, title=title
+    )
+
+    # Geometry helpers matching the base renderer's mapping.
+    margin_mm = 6.0
+    height = ((ymax - ymin) * 1e3 + 2 * margin_mm) * scale
+
+    def sx(x: float) -> float:
+        return ((x - xmin) * 1e3 + margin_mm) * scale
+
+    def sy(y: float) -> float:
+        return height - ((y - ymin) * 1e3 + margin_mm) * scale
+
+    cell_w = (xs[1] - xs[0]) * 1e3 * scale
+    cell_h = (ys[1] - ys[0]) * 1e3 * scale
+    cells: list[str] = []
+    for iy in range(ny):
+        for ix in range(nx):
+            level = float(levels[iy, ix])
+            if level <= 0.02:
+                continue
+            cells.append(
+                f'<rect x="{sx(xs[ix]) - cell_w / 2:.1f}" '
+                f'y="{sy(ys[iy]) - cell_h / 2:.1f}" '
+                f'width="{cell_w:.1f}" height="{cell_h:.1f}" '
+                f'fill="{_field_color(level)}" fill-opacity="0.55"/>'
+            )
+
+    # Splice the field layer right after the board outline polygon (the
+    # outline is always present, so the anchor always resolves).
+    outline_end = base.find('stroke-width="2"/>')
+    insert_at = base.find("\n", outline_end)
+    field_layer = "\n".join(cells)
+    return base[:insert_at] + "\n" + field_layer + base[insert_at:]

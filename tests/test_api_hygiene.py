@@ -1,0 +1,77 @@
+"""Meta-tests: public-API hygiene across every package.
+
+Production-quality guardrails: every package's ``__all__`` names must
+actually exist, every exported callable/class must carry a docstring, and
+the package docstrings themselves must be present.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.peec",
+    "repro.components",
+    "repro.circuit",
+    "repro.emi",
+    "repro.coupling",
+    "repro.sensitivity",
+    "repro.rules",
+    "repro.placement",
+    "repro.routing",
+    "repro.converters",
+    "repro.io",
+    "repro.viz",
+    "repro.core",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_exist(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} exports nothing"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_exported_objects_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_exported_classes_have_documented_public_methods(package):
+    module = importlib.import_module(package)
+    offenders = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not inspect.isclass(obj):
+            continue
+        for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+            if method_name.startswith("_"):
+                continue
+            if method.__name__ == "<lambda>":
+                continue  # dataclass field defaults holding callables
+            if method.__qualname__.split(".")[0] != obj.__name__:
+                continue  # inherited from elsewhere (e.g. dataclass helpers)
+            if not (method.__doc__ and method.__doc__.strip()):
+                offenders.append(f"{name}.{method_name}")
+    assert not offenders, f"{package}: undocumented methods {sorted(set(offenders))}"

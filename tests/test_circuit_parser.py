@@ -1,0 +1,135 @@
+"""Unit tests for the SPICE-flavoured netlist parser."""
+
+import pytest
+
+from repro.circuit import (
+    MnaSystem,
+    format_netlist,
+    parse_netlist,
+    parse_value,
+)
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("10", 10.0),
+            ("4.7u", 4.7e-6),
+            ("100n", 1e-7),
+            ("22p", 22e-12),
+            ("1.5MEG", 1.5e6),
+            ("3k", 3e3),
+            ("2m", 2e-3),
+            ("1e-9", 1e-9),
+            ("-5", -5.0),
+            ("0.5f", 0.5e-15),
+        ],
+    )
+    def test_engineering_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_malformed(self):
+        for bad in ("abc", "1.2.3", "10 u", ""):
+            with pytest.raises(ValueError):
+                parse_value(bad)
+
+
+class TestParseNetlist:
+    def test_basic_elements(self):
+        c = parse_netlist(
+            """
+            * comment line
+            V1 in 0 ac=1
+            R1 in out 1k
+            C1 out 0 1u
+            L1 out 0 10u
+            I1 0 out ac=0.5
+            """
+        )
+        stats = c.stats()
+        assert stats["Resistor"] == 1
+        assert stats["Capacitor"] == 1
+        assert stats["Inductor"] == 1
+        assert stats["VoltageSource"] == 1
+        assert stats["CurrentSource"] == 1
+
+    def test_capacitor_with_parasitics_expands(self):
+        c = parse_netlist("C1 a 0 1u esr=10m esl=5n")
+        names = {e.name for e in c.elements}
+        assert names == {"C1.C", "C1.ESR", "C1.ESL"}
+
+    def test_inductor_with_parasitics_expands(self):
+        c = parse_netlist("L1 a 0 10u esr=50m epc=5p")
+        names = {e.name for e in c.elements}
+        assert names == {"L1.L", "L1.ESR", "L1.EPC"}
+
+    def test_coupling_resolves_expanded_names(self):
+        c = parse_netlist(
+            """
+            C1 a 0 1u esl=5n
+            L1 a 0 10u esr=10m
+            K1 C1 L1 0.05
+            """
+        )
+        assert c.coupling_value("C1.ESL", "L1.L") == pytest.approx(0.05)
+
+    def test_coupling_raw_names(self):
+        c = parse_netlist(
+            """
+            L1 a 0 10u
+            L2 b 0 10u
+            K1 L1 L2 -0.1
+            """
+        )
+        assert c.coupling_value("L1", "L2") == pytest.approx(-0.1)
+
+    def test_semicolon_comments_stripped(self):
+        c = parse_netlist("R1 a 0 10 ; load resistor")
+        assert c.find("R1").resistance == 10.0
+
+    def test_dot_cards_ignored(self):
+        c = parse_netlist(".ac dec 10 1k 1meg\nR1 a 0 10")
+        assert len(c.elements) == 1
+
+    def test_error_cites_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_netlist("R1 a 0 10\nXBAD a b c")
+
+    def test_unknown_keyword_in_cap(self):
+        with pytest.raises(ValueError, match="unknown keywords"):
+            parse_netlist("C1 a 0 1u frobnicate=3")
+
+    def test_parsed_circuit_solves(self):
+        c = parse_netlist(
+            """
+            V1 in 0 ac=1
+            R1 in out 50
+            C1 out 0 100n esr=20m esl=2n
+            """
+        )
+        sol = MnaSystem(c).solve_ac(1e6)
+        assert abs(sol.voltage("out")) < 1.0
+
+
+class TestFormatNetlist:
+    def test_roundtrip_simple(self):
+        original = parse_netlist(
+            """
+            V1 in 0 dc=12 ac=1
+            R1 in out 1k
+            L1 out 0 10u
+            L2 x 0 10u
+            R2 x 0 50
+            K1 L1 L2 0.2
+            """
+        )
+        text = format_netlist(original)
+        again = parse_netlist(text)
+        assert again.stats() == original.stats()
+        assert again.coupling_value("L1", "L2") == pytest.approx(0.2)
+
+    def test_title_line(self):
+        c = parse_netlist("R1 a 0 1", title="demo")
+        c.title = "demo"
+        assert format_netlist(c).startswith("* demo")

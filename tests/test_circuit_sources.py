@@ -1,0 +1,141 @@
+"""Unit tests for PWL Fourier coefficients and the trapezoid source."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    TrapezoidSource,
+    pwl_fourier_coefficient,
+    trapezoid_breakpoints,
+)
+
+
+class TestPwlFourier:
+    def test_dc_of_constant(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([3.0, 3.0])
+        assert pwl_fourier_coefficient(t, v, 1.0, 0) == pytest.approx(3.0)
+
+    def test_harmonics_of_constant_vanish(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([2.0, 2.0])
+        assert abs(pwl_fourier_coefficient(t, v, 1.0, 3)) < 1e-12
+
+    def test_triangle_wave_known_coefficients(self):
+        # Symmetric triangle: |c_n| = 2A/(pi^2 n^2) for odd n (sine series
+        # amplitude 8A/pi^2/n^2 -> one-sided c_n doubled is 4A/(pi n)^2 ...
+        # verify against direct FFT instead of error-prone algebra.
+        period = 1.0
+        t = np.array([0.0, 0.25, 0.75, 1.0])
+        v = np.array([0.0, 1.0, -1.0, 0.0])
+        n_samples = 1 << 14
+        ts = np.arange(n_samples) / n_samples
+        vs = np.interp(ts, t, v)
+        fft = np.fft.fft(vs) / n_samples
+        for n in (1, 2, 3, 5):
+            analytic = pwl_fourier_coefficient(t, v, period, n)
+            assert analytic == pytest.approx(fft[n], abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pwl_fourier_coefficient(np.array([0.0]), np.array([1.0]), 1.0, 1)
+        with pytest.raises(ValueError):
+            pwl_fourier_coefficient(
+                np.array([0.1, 1.0]), np.array([0.0, 0.0]), 1.0, 1
+            )
+        with pytest.raises(ValueError):
+            pwl_fourier_coefficient(
+                np.array([0.0, 0.6, 0.5, 1.0]), np.array([0, 1, 1, 0]), 1.0, 1
+            )
+
+
+class TestTrapezoidBreakpoints:
+    def test_spans_period(self):
+        t, v = trapezoid_breakpoints(4e-6, 0.5, 50e-9, 50e-9)
+        assert t[0] == 0.0
+        assert t[-1] == pytest.approx(4e-6)
+        assert v[0] == v[-1]
+
+    def test_duty_at_50_percent_level(self):
+        period = 4e-6
+        t, v = trapezoid_breakpoints(period, 0.4, 100e-9, 100e-9, 0.0, 1.0)
+        # Time above 0.5: half of each edge + flat top.
+        above = (t[2] - t[1]) + 100e-9
+        assert above / period == pytest.approx(0.4, rel=1e-9)
+
+    def test_impossible_edges_rejected(self):
+        with pytest.raises(ValueError):
+            trapezoid_breakpoints(1e-6, 0.05, 200e-9, 200e-9)
+        with pytest.raises(ValueError):
+            trapezoid_breakpoints(1e-6, 0.5, 0.0, 10e-9)
+        with pytest.raises(ValueError):
+            trapezoid_breakpoints(1e-6, 1.2, 1e-9, 1e-9)
+
+
+class TestTrapezoidSource:
+    def source(self) -> TrapezoidSource:
+        return TrapezoidSource(0.0, 12.0, 250e3, duty=0.4, t_rise=40e-9, t_fall=60e-9)
+
+    def test_dc_value(self):
+        src = self.source()
+        assert src.harmonic(0).real == pytest.approx(12.0 * 0.4, rel=1e-6)
+
+    def test_harmonics_match_fft(self):
+        src = self.source()
+        n_samples = 1 << 15
+        ts = np.arange(n_samples) * src.period / n_samples
+        vs = np.array([src.value_at(t) for t in ts])
+        fft = np.fft.fft(vs) / n_samples
+        for n in (1, 2, 7, 19):
+            assert abs(src.harmonic(n)) == pytest.approx(
+                2 * abs(fft[n]), rel=1e-3, abs=1e-6
+            )
+
+    def test_square_wave_fundamental(self):
+        square = TrapezoidSource(-1.0, 1.0, 1e6, duty=0.5, t_rise=1e-9, t_fall=1e-9)
+        assert abs(square.harmonic(1)) == pytest.approx(4 / math.pi, rel=1e-3)
+        assert abs(square.harmonic(2)) < 1e-6
+
+    def test_harmonic_frequencies(self):
+        src = self.source()
+        freqs = src.harmonic_frequencies(2e6)
+        assert freqs[0] == 250e3
+        assert freqs[-1] == 2e6
+        assert len(freqs) == 8
+
+    def test_spectrum_callable(self):
+        src = self.source()
+        spec = src.spectrum_callable()
+        assert spec(250e3) == src.harmonic(1)
+        assert spec(250e3 * 2.5) == 0.0
+        assert spec(100.0) == 0.0
+
+    def test_envelope_decreasing(self):
+        src = self.source()
+        freqs = np.logspace(5.5, 8, 30)
+        env = src.envelope_db(freqs)
+        assert np.all(np.diff(env) <= 1e-9)
+
+    def test_envelope_bounds_harmonics(self):
+        # The trapezoid envelope is an upper bound for harmonic amplitudes.
+        src = self.source()
+        for n in (1, 3, 10, 50, 200):
+            level = 20 * np.log10(max(abs(src.harmonic(n)), 1e-30))
+            env = float(src.envelope_db(np.array([n * 250e3]))[0])
+            assert level <= env + 0.1
+
+    def test_faster_edges_richer_spectrum(self):
+        slow = TrapezoidSource(0, 12, 250e3, duty=0.4, t_rise=200e-9, t_fall=200e-9)
+        fast = TrapezoidSource(0, 12, 250e3, duty=0.4, t_rise=10e-9, t_fall=10e-9)
+        n = 100  # 25 MHz
+        assert abs(fast.harmonic(n)) > abs(slow.harmonic(n))
+
+    def test_value_at_periodicity(self):
+        src = self.source()
+        assert src.value_at(1e-6) == pytest.approx(src.value_at(1e-6 + src.period))
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            TrapezoidSource(0, 1, 0.0)

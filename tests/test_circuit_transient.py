@@ -1,0 +1,130 @@
+"""Unit tests for the trapezoidal transient engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, TransientSolver
+
+
+class TestFirstOrder:
+    def test_rc_step_response(self):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0)
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-6)
+        result = TransientSolver(c).run(5e-3, 5e-6)
+        tau = 1e-3
+        idx = int(round(tau / 5e-6))
+        assert result.voltage("out")[idx] == pytest.approx(1 - math.exp(-1), rel=0.01)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, rel=0.01)
+
+    def test_rl_current_rise(self):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0)
+        c.add_resistor("R1", "in", "out", 10.0)
+        c.add_inductor("L1", "out", "0", 10e-3)
+        result = TransientSolver(c).run(5e-3, 5e-6)
+        tau = 10e-3 / 10.0
+        idx = int(round(tau / 5e-6))
+        i = result.current("L1")
+        assert i[idx] == pytest.approx(0.1 * (1 - math.exp(-1)), rel=0.02)
+
+    def test_invalid_args(self):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0")
+        c.add_resistor("R1", "in", "0", 1.0)
+        with pytest.raises(ValueError):
+            TransientSolver(c).run(1e-3, 0.0)
+        with pytest.raises(ValueError):
+            TransientSolver(c).run(0.0, 1e-6, t_start=1.0)
+
+
+class TestSecondOrder:
+    def test_lc_oscillation_frequency(self):
+        # Series LC rung by a step: ringing at f0 = 1/(2 pi sqrt(LC)).
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0)
+        c.add_resistor("R1", "in", "a", 0.5)
+        c.add_inductor("L1", "a", "b", 10e-6)
+        c.add_capacitor("C1", "b", "0", 1e-6)
+        f0 = 1 / (2 * math.pi * math.sqrt(10e-6 * 1e-6))
+        result = TransientSolver(c).run(20e-5, 2e-8)
+        freqs, spec = result.spectrum("b", settle_fraction=0.0)
+        # Mask out the step's low-frequency content before peak picking.
+        mask = freqs > f0 / 2.0
+        peak = freqs[mask][np.argmax(spec[mask])]
+        assert peak == pytest.approx(f0, rel=0.1)
+
+    def test_energy_not_created(self):
+        # Trapezoidal rule is A-stable: with loss, the ringing must decay.
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0 if t > 0 else 0.0)
+        c.add_resistor("R1", "in", "a", 5.0)
+        c.add_inductor("L1", "a", "b", 10e-6)
+        c.add_capacitor("C1", "b", "0", 1e-6)
+        result = TransientSolver(c).run(1e-3, 1e-7)
+        v = result.voltage("b")
+        early_swing = np.max(np.abs(v[: len(v) // 4] - 1.0))
+        late_swing = np.max(np.abs(v[-len(v) // 4 :] - 1.0))
+        assert late_swing < early_swing * 0.1
+
+
+class TestSwitchedCircuits:
+    def test_buck_converter_regulation(self):
+        c = Circuit()
+        c.add_vsource("VIN", "vin", "0", waveform=lambda t: 12.0)
+        c.add_switch(
+            "S1", "vin", "sw", r_on=1e-2, r_off=1e7, control=lambda t: (t % 4e-6) < 2e-6
+        )
+        c.add_diode("D1", "0", "sw", vf=0.4, r_on=1e-2)
+        c.add_inductor("LB", "sw", "vo", 47e-6)
+        c.add_capacitor("CO", "vo", "0", 100e-6)
+        c.add_resistor("RL", "vo", "0", 6.0)
+        result = TransientSolver(c).run(2e-3, 2e-8)
+        vo = result.voltage("vo")
+        # Ideal: D*Vin = 6 V, minus diode/switch drops.
+        assert 4.5 < float(np.mean(vo[-2000:])) < 6.5
+
+    def test_diode_rectifier_blocks_negative(self):
+        c = Circuit()
+        c.add_vsource(
+            "V1", "in", "0", waveform=lambda t: math.sin(2 * math.pi * 1e3 * t)
+        )
+        c.add_diode("D1", "in", "out", vf=0.2, r_on=1e-2)
+        c.add_resistor("RL", "out", "0", 1e3)
+        result = TransientSolver(c).run(2e-3, 1e-6)
+        v = result.voltage("out")
+        assert float(np.min(v)) > -0.05
+        assert float(np.max(v)) > 0.6
+
+    def test_coupled_inductors_transient(self):
+        # Step into the primary of a k=0.9 transformer: secondary sees dV.
+        c = Circuit()
+        c.add_vsource("V1", "p", "0", waveform=lambda t: 1.0)
+        c.add_resistor("Rp", "p", "a", 1.0)
+        c.add_inductor("L1", "a", "0", 1e-3)
+        c.add_inductor("L2", "s", "0", 1e-3)
+        c.add_resistor("RL", "s", "0", 1e3)
+        c.add_coupling("K1", "L1", "L2", 0.9)
+        result = TransientSolver(c).run(1e-4, 1e-7)
+        v_s = result.voltage("s")
+        assert float(np.max(np.abs(v_s))) > 0.1
+
+
+class TestResultAccessors:
+    def test_ground_voltage_zero(self):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0)
+        c.add_resistor("R1", "in", "0", 1.0)
+        result = TransientSolver(c).run(1e-5, 1e-6)
+        assert np.all(result.voltage("0") == 0.0)
+
+    def test_spectrum_requires_samples(self):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", waveform=lambda t: 1.0)
+        c.add_resistor("R1", "in", "0", 1.0)
+        result = TransientSolver(c).run(3e-6, 1e-6)
+        with pytest.raises(ValueError):
+            result.spectrum("in")

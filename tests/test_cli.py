@@ -1,0 +1,141 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_problem, write_problem
+from repro.placement import AutoPlacer
+
+from conftest import build_small_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "board.txt"
+    path.write_text(write_problem(build_small_problem(), title="cli test"))
+    return path
+
+
+@pytest.fixture
+def placed_file(tmp_path):
+    problem = build_small_problem()
+    AutoPlacer(problem).run()
+    path = tmp_path / "placed.txt"
+    path.write_text(write_problem(problem, title="placed"))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_flags(self):
+        args = build_parser().parse_args(
+            ["place", "x.txt", "--baseline", "--no-rotation"]
+        )
+        assert args.baseline and args.no_rotation
+
+
+class TestPlaceCommand:
+    def test_place_writes_output_and_svg(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "placed.txt"
+        svg = tmp_path / "board.svg"
+        code = main(["place", str(problem_file), "-o", str(out), "--svg", str(svg)])
+        assert code == 0
+        assert "violations: 0" in capsys.readouterr().out
+        placed = read_problem(out.read_text())
+        assert all(c.is_placed for c in placed.components.values())
+        assert svg.read_text().startswith("<svg")
+
+    def test_baseline_mode_exit_code(self, problem_file, capsys):
+        # Baseline ignores min distances; exit code reflects the DRC of the
+        # checks it ran (body/keepin), which pass.
+        code = main(["place", str(problem_file), "--baseline"])
+        assert code == 0
+
+    def test_place_failure_exit_code(self, tmp_path):
+        # A board far too small for the parts.
+        problem = build_small_problem()
+        from repro.geometry import Polygon2D
+        from repro.placement import Board
+
+        problem.boards = [Board(0, Polygon2D.rectangle(0, 0, 0.015, 0.015))]
+        path = tmp_path / "tiny.txt"
+        path.write_text(write_problem(problem))
+        assert main(["place", str(path)]) == 2
+
+
+class TestDrcCommand:
+    def test_clean_layout(self, placed_file, capsys):
+        code = main(["drc", str(placed_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 violation(s)" in out
+        assert "GREEN" in out
+
+    def test_violating_layout(self, tmp_path, capsys):
+        problem = build_small_problem()
+        from repro.geometry import Placement2D
+
+        for i, comp in enumerate(problem.components.values()):
+            comp.placement = Placement2D.at(0.02 + i * 0.001, 0.02)
+        path = tmp_path / "bad.txt"
+        path.write_text(write_problem(problem))
+        code = main(["drc", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RED" in out
+
+    def test_csv_export(self, placed_file, tmp_path):
+        csv_path = tmp_path / "markers.csv"
+        main(["drc", str(placed_file), "--csv", str(csv_path)])
+        text = csv_path.read_text()
+        assert text.startswith("ref_a,ref_b,emd_mm,distance_mm,satisfied")
+
+
+class TestRulesCommand:
+    def test_derives_and_writes(self, tmp_path, capsys):
+        # Strip existing rules so the command derives fresh ones.
+        problem = build_small_problem(with_rules=False)
+        src = tmp_path / "bare.txt"
+        src.write_text(write_problem(problem))
+        out = tmp_path / "ruled.txt"
+        code = main(
+            ["rules", str(src), "--k-threshold", "0.02", "--max-pairs", "4",
+             "-o", str(out)]
+        )
+        assert code == 0
+        ruled = read_problem(out.read_text())
+        assert len(ruled.rules.min_distance) >= 1
+        assert "PEMD" in capsys.readouterr().out
+
+
+class TestCompactCommand:
+    def test_compacts_and_reports(self, placed_file, tmp_path, capsys):
+        out = tmp_path / "compact.txt"
+        code = main(["compact", str(placed_file), "-o", str(out)])
+        assert code == 0
+        assert "compaction:" in capsys.readouterr().out
+        compacted = read_problem(out.read_text())
+        assert all(c.is_placed for c in compacted.components.values())
+
+
+class TestRefineFlag:
+    def test_place_with_refinement(self, problem_file, capsys):
+        code = main(["place", str(problem_file), "--refine"])
+        assert code == 0
+        assert "refinement:" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    def test_demo_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "demo"
+        code = main(["demo", "--out-dir", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "spectra.csv").exists()
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "baseline.svg").exists()
+        assert (out_dir / "optimized.svg").exists()
+        report = (out_dir / "report.md").read_text()
+        assert report.startswith("# EMI design-flow report")

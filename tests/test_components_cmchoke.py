@@ -1,0 +1,96 @@
+"""Unit tests for current-compensated (common-mode) chokes."""
+
+import math
+
+import pytest
+
+from repro.components import CommonModeChoke, cm_choke_2w, cm_choke_3w
+from repro.geometry import Vec3
+
+
+class TestConstruction:
+    def test_two_and_three_windings_only(self):
+        with pytest.raises(ValueError):
+            CommonModeChoke(n_windings=4)
+
+    def test_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            CommonModeChoke(coverage=0.05)
+
+    def test_rings_minimum(self):
+        with pytest.raises(ValueError):
+            CommonModeChoke(rings_per_winding=1)
+
+    def test_default_pads_per_winding(self):
+        assert len(cm_choke_2w().pads) == 4
+        assert len(cm_choke_3w().pads) == 6
+
+
+class TestWindingGeometry:
+    def test_winding_path_count(self):
+        choke = cm_choke_2w()
+        path = choke.winding_path(0)
+        assert len(path) == choke.rings_per_winding * 8
+
+    def test_winding_index_bounds(self):
+        with pytest.raises(IndexError):
+            cm_choke_2w().winding_path(2)
+
+    def test_windings_at_opposite_sides_2w(self):
+        choke = cm_choke_2w()
+        c0 = choke.winding_path(0).centroid()
+        c1 = choke.winding_path(1).centroid()
+        # Opposite sides of the toroid: centroids are antipodal in x-y.
+        assert (c0.xy() + c1.xy()).norm() < 1e-3
+
+    def test_winding_angles_3w(self):
+        choke = cm_choke_3w()
+        angles = [choke.winding_center_angle(i) for i in range(3)]
+        assert angles[1] - angles[0] == pytest.approx(2 * math.pi / 3)
+
+    def test_windings_on_major_radius(self):
+        choke = cm_choke_2w()
+        for w in range(2):
+            centroid = choke.winding_path(w).centroid()
+            r = centroid.xy().norm()
+            # The length-weighted centroid of an arc pulls inwards by the
+            # chord factor sinc(arc/2) ~ 0.82 for the 126-degree coverage.
+            assert 0.7 * choke.major_radius < r < 1.01 * choke.major_radius
+
+    def test_full_path_merges_windings(self):
+        choke = cm_choke_3w()
+        assert len(choke.current_path) == 3 * choke.rings_per_winding * 8
+
+    def test_winding_axis_tangential(self):
+        choke = cm_choke_2w()
+        path = choke.winding_path(0)
+        axis = path.magnetic_axis()
+        # Winding 0 sits at angle 0 (+x); its axis is tangential (+-y).
+        assert abs(axis.y) > 0.9
+
+
+class TestBehaviour:
+    def test_cm_inductance_large(self):
+        # CM chokes are tens of microhenries per path.
+        assert cm_choke_2w().inductance > 1e-6
+
+    def test_rated_override(self):
+        choke = CommonModeChoke(rated_inductance=3.3e-3)
+        assert choke.inductance == pytest.approx(3.3e-3)
+
+    def test_decoupling_residuals(self):
+        assert cm_choke_2w().decoupling_residual < cm_choke_3w().decoupling_residual
+
+    def test_vertical_net_axis(self):
+        # Under CM drive the net moment is the azimuthal "single turn" along z.
+        axis = cm_choke_2w().magnetic_axis_local()
+        assert abs(axis.z) > 0.9
+
+    def test_esr_small(self):
+        assert 0.0 < cm_choke_2w().esr < 0.1
+
+    def test_centroid_at_body_mid_height(self):
+        choke = cm_choke_2w()
+        assert choke.current_path.centroid().is_close(
+            Vec3(0.0, 0.0, choke.body_height / 2.0), tol=1e-3
+        )

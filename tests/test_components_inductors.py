@@ -1,0 +1,93 @@
+"""Unit tests for bobbin chokes (segmented-ring winding models)."""
+
+import pytest
+
+from repro.components import BobbinChoke, large_bobbin_choke, small_bobbin_choke
+from repro.geometry import Vec3
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        choke = BobbinChoke()
+        assert choke.self_inductance > 0.0
+
+    def test_invalid_turns(self):
+        with pytest.raises(ValueError):
+            BobbinChoke(turns=0)
+
+    def test_invalid_orientation(self):
+        with pytest.raises(ValueError):
+            BobbinChoke(orientation="diagonal")
+
+    def test_invalid_rings(self):
+        with pytest.raises(ValueError):
+            BobbinChoke(n_rings=0)
+
+    def test_demag_factor_from_geometry(self):
+        stubby = BobbinChoke(coil_length=4e-3, coil_radius=4e-3)
+        slim = BobbinChoke(coil_length=16e-3, coil_radius=2e-3)
+        assert stubby.demag_factor > slim.demag_factor
+
+
+class TestWindingModel:
+    def test_ring_count(self):
+        choke = BobbinChoke(n_rings=5)
+        assert len(choke.current_path) == 5 * 12  # 12 segments per ring
+
+    def test_horizontal_axis(self):
+        choke = BobbinChoke(orientation="horizontal")
+        axis = choke.magnetic_axis_local()
+        assert abs(axis.x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_vertical_axis(self):
+        choke = BobbinChoke(orientation="vertical")
+        axis = choke.magnetic_axis_local()
+        assert abs(axis.z) == pytest.approx(1.0, abs=1e-6)
+
+    def test_vertical_has_full_residual(self):
+        assert BobbinChoke(orientation="vertical").decoupling_residual == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_winding_centred_in_body(self):
+        choke = BobbinChoke()
+        centroid = choke.current_path.centroid()
+        assert centroid.is_close(
+            Vec3(0.0, 0.0, choke.body_height / 2.0), tol=1e-6
+        )
+
+    def test_turns_raise_inductance(self):
+        lo = BobbinChoke(turns=10).self_inductance
+        hi = BobbinChoke(turns=30).self_inductance
+        assert hi > lo * 4.0  # roughly quadratic in turns
+
+
+class TestElectricalModel:
+    def test_geometric_inductance_microhenry_scale(self):
+        choke = BobbinChoke()
+        assert 1e-7 < choke.inductance < 1e-3
+
+    def test_rated_inductance_overrides(self):
+        choke = BobbinChoke(rated_inductance=100e-6)
+        assert choke.inductance == pytest.approx(100e-6)
+        # The field model still uses geometry.
+        assert choke.self_inductance != pytest.approx(100e-6)
+
+    def test_esr_plausible_winding_resistance(self):
+        choke = BobbinChoke()
+        assert 1e-3 < choke.esr < 1.0
+
+    def test_mu_eff_above_one(self):
+        assert BobbinChoke().mu_eff > 1.0
+
+
+class TestFig7Pair:
+    def test_sizes_differ(self):
+        small = small_bobbin_choke()
+        large = large_bobbin_choke()
+        assert large.coil_radius > small.coil_radius
+        assert large.self_inductance > small.self_inductance
+
+    def test_orientation_passthrough(self):
+        v = small_bobbin_choke(orientation="vertical")
+        assert abs(v.magnetic_axis_local().z) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for semiconductors, passives and the component library."""
+
+import pytest
+
+from repro.components import (
+    ChipResistor,
+    Connector,
+    ControllerIC,
+    PowerDiode,
+    PowerMosfet,
+    ShuntResistor,
+    default_library,
+)
+from repro.components.library import ComponentLibrary
+
+
+class TestSemiconductors:
+    def test_mosfet_parameters(self):
+        q = PowerMosfet()
+        assert q.rds_on > 0.0
+        assert q.rise_time > 0.0
+        assert q.esr == pytest.approx(q.rds_on)
+
+    def test_mosfet_has_three_pads(self):
+        names = {p.name for p in PowerMosfet().pads}
+        assert names == {"D", "S", "G"}
+
+    def test_diode_parameters(self):
+        d = PowerDiode()
+        assert d.forward_voltage > 0.0
+        assert d.esr == pytest.approx(d.on_resistance)
+
+    def test_lead_frame_loops_small(self):
+        assert PowerMosfet().esl < 5e-9
+        assert PowerDiode().esl < 5e-9
+
+
+class TestPassives:
+    def test_resistor_esr_is_resistance(self):
+        r = ChipResistor(resistance=47.0)
+        assert r.esr == pytest.approx(47.0)
+
+    def test_shunt_low_resistance(self):
+        assert ShuntResistor().resistance < 0.1
+
+    def test_connector_has_field_model(self):
+        # Even "boring" parts provide a current path (no special cases).
+        assert Connector().self_inductance > 0.0
+
+    def test_controller_pads(self):
+        assert len(ControllerIC().pads) == 8
+
+
+class TestLibrary:
+    def test_default_library_contents(self):
+        lib = default_library()
+        assert len(lib) >= 14
+        assert "X2-1u5" in lib
+        assert "CMC-3W" in lib
+
+    def test_create_returns_fresh_instances(self):
+        lib = default_library()
+        a = lib.create("X2-1u5")
+        b = lib.create("X2-1u5")
+        assert a is not b
+
+    def test_unknown_part_raises_with_catalogue(self):
+        lib = default_library()
+        with pytest.raises(KeyError, match="known parts"):
+            lib.create("NOPE-42")
+
+    def test_register_validates_part_number(self):
+        lib = ComponentLibrary()
+        with pytest.raises(ValueError):
+            lib.register("WRONG-NAME", ChipResistor)
+
+    def test_part_numbers_sorted(self):
+        lib = default_library()
+        numbers = lib.part_numbers()
+        assert numbers == sorted(numbers)
+
+    def test_all_parts_have_working_field_models(self):
+        lib = default_library()
+        for pn in lib.part_numbers():
+            comp = lib.create(pn)
+            assert comp.self_inductance > 0.0
+            assert comp.magnetic_axis_local().norm() == pytest.approx(1.0)

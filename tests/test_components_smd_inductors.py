@@ -1,0 +1,108 @@
+"""Unit tests for shielded/unshielded SMD power inductors."""
+
+import pytest
+
+from repro.components import (
+    SmdPowerInductor,
+    shielded_power_inductor,
+    unshielded_power_inductor,
+)
+from repro.coupling import pair_coupling_factor
+from repro.geometry import Placement2D
+from repro.rules import derive_pemd
+
+
+class TestConstruction:
+    def test_vertical_axis(self):
+        axis = shielded_power_inductor().magnetic_axis_local()
+        assert abs(axis.z) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rotation_invariant_residual(self):
+        assert shielded_power_inductor().decoupling_residual == pytest.approx(1.0)
+
+    def test_same_winding_same_inductance(self):
+        # The shield changes the stray field, not the (first-order) L.
+        assert shielded_power_inductor().self_inductance == pytest.approx(
+            unshielded_power_inductor().self_inductance
+        )
+
+    def test_core_assignment(self):
+        assert shielded_power_inductor().core.stray_fraction < 0.2
+        assert unshielded_power_inductor().core.stray_fraction > 0.8
+
+    def test_rated_override(self):
+        ind = SmdPowerInductor(rated_inductance=22e-6)
+        assert ind.inductance == pytest.approx(22e-6)
+
+    def test_invalid_turns(self):
+        with pytest.raises(ValueError):
+            SmdPowerInductor(turns=0)
+
+    def test_esr_plausible(self):
+        assert 1e-3 < shielded_power_inductor().esr < 1.0
+
+
+class TestShieldingEffect:
+    def test_shield_cuts_coupling(self):
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.02, 0)
+        k_shielded = abs(
+            pair_coupling_factor(
+                shielded_power_inductor(), pa, shielded_power_inductor(), pb
+            )
+        )
+        k_open = abs(
+            pair_coupling_factor(
+                unshielded_power_inductor(), pa, unshielded_power_inductor(), pb
+            )
+        )
+        assert k_shielded < 0.2 * k_open
+
+    def test_shield_shrinks_pemd(self):
+        pemd_shielded = derive_pemd(
+            shielded_power_inductor(), shielded_power_inductor(), 0.01
+        ).pemd
+        pemd_open = derive_pemd(
+            unshielded_power_inductor(), unshielded_power_inductor(), 0.01
+        ).pemd
+        # Part selection as an EMC lever: the shielded pair may sit roughly
+        # twice as close for the same coupling budget.
+        assert pemd_shielded < 0.7 * pemd_open
+
+    def test_mixed_pair_between_the_extremes(self):
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.02, 0)
+        k_mixed = abs(
+            pair_coupling_factor(
+                shielded_power_inductor(), pa, unshielded_power_inductor(), pb
+            )
+        )
+        k_open = abs(
+            pair_coupling_factor(
+                unshielded_power_inductor(), pa, unshielded_power_inductor(), pb
+            )
+        )
+        k_shielded = abs(
+            pair_coupling_factor(
+                shielded_power_inductor(), pa, shielded_power_inductor(), pb
+            )
+        )
+        assert k_shielded < k_mixed < k_open
+
+
+class TestLibraryAndIo:
+    def test_in_default_library(self):
+        from repro.components import default_library
+
+        lib = default_library()
+        assert "SMD-IND-SH" in lib and "SMD-IND-UN" in lib
+
+    def test_ascii_roundtrip(self):
+        from repro.geometry import Polygon2D
+        from repro.io import read_problem, write_problem
+        from repro.placement import Board, PlacedComponent, PlacementProblem
+
+        problem = PlacementProblem([Board(0, Polygon2D.rectangle(0, 0, 0.05, 0.05))])
+        problem.add_component(PlacedComponent("L1", shielded_power_inductor()))
+        again = read_problem(write_problem(problem))
+        twin = again.components["L1"].component
+        assert type(twin).__name__ == "SmdPowerInductor"
+        assert twin.footprint_w == pytest.approx(10e-3)

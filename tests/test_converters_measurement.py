@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic CISPR measurement substitute."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.converters import perturb_circuit, synthesize_measurement
+
+
+class TestPerturbCircuit:
+    def base(self) -> Circuit:
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", ac=1.0)
+        c.add_resistor("R1", "in", "out", 100.0)
+        c.add_capacitor("C1", "out", "0", 1e-6)
+        c.add_inductor("L1", "out", "0", 1e-6)
+        return c
+
+    def test_l_and_c_detuned_within_band(self):
+        rng = np.random.default_rng(1)
+        variant = perturb_circuit(self.base(), rng, tolerance=0.1)
+        c = variant.find("C1").capacitance
+        l = variant.find("L1").inductance
+        assert 0.9e-6 <= c <= 1.1e-6
+        assert 0.9e-6 <= l <= 1.1e-6
+        assert (c, l) != (1e-6, 1e-6)
+
+    def test_resistors_untouched(self):
+        rng = np.random.default_rng(1)
+        variant = perturb_circuit(self.base(), rng, tolerance=0.1)
+        assert variant.find("R1").resistance == 100.0
+
+    def test_original_unmodified(self):
+        base = self.base()
+        perturb_circuit(base, np.random.default_rng(0), tolerance=0.2)
+        assert base.find("C1").capacitance == 1e-6
+
+
+class TestSynthesizeMeasurement:
+    def test_reproducible_by_seed(self, buck_design):
+        m1 = synthesize_measurement(buck_design, {}, seed=7)
+        m2 = synthesize_measurement(buck_design, {}, seed=7)
+        assert np.allclose(m1.values, m2.values)
+
+    def test_seed_changes_result(self, buck_design):
+        m1 = synthesize_measurement(buck_design, {}, seed=7)
+        m2 = synthesize_measurement(buck_design, {}, seed=8)
+        assert not np.allclose(np.abs(m1.values), np.abs(m2.values))
+
+    def test_noise_floor_lifts_quiet_lines(self, buck_design):
+        quiet = synthesize_measurement(buck_design, {}, noise_floor_dbuv=0.0)
+        loud_floor = synthesize_measurement(buck_design, {}, noise_floor_dbuv=30.0)
+        # A 30 dBuV floor must raise the quietest decile of the trace.
+        assert float(np.percentile(loud_floor.dbuv(), 10)) > float(
+            np.percentile(quiet.dbuv(), 10)
+        )
+
+    def test_same_grid_as_prediction(self, buck_design):
+        m = synthesize_measurement(buck_design, {})
+        p = buck_design.emission_spectrum()
+        assert np.allclose(m.freqs, p.freqs)
+
+    def test_tracks_its_own_couplings(self, buck_design):
+        couplings = {("CX1", "CX2"): 0.06}
+        meas = synthesize_measurement(buck_design, couplings, seed=3)
+        with_k = buck_design.emission_spectrum(couplings)
+        without_k = buck_design.emission_spectrum()
+        # The Fig. 12/14 structure: the measurement agrees far better with
+        # the coupled prediction than with the uncoupled one.
+        assert meas.mean_abs_error_db(with_k) < meas.mean_abs_error_db(without_k)

@@ -1,0 +1,103 @@
+"""Unit tests for capacitive component coupling (high-frequency extension)."""
+
+import numpy as np
+import pytest
+
+from repro.components import FilmCapacitorX2
+from repro.converters import CAPACITIVE_NODES, BuckConverterDesign
+from repro.coupling import capacitive_layout_couplings, component_capacitance
+from repro.geometry import Placement2D
+
+from conftest import build_small_problem
+
+
+class TestComponentCapacitance:
+    def test_sub_picofarad_magnitude(self, x2_cap):
+        result = component_capacitance(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.02, 0)
+        )
+        assert 0.05e-12 < result.mutual_f < 5e-12
+        assert result.mutual_pf == pytest.approx(result.mutual_f * 1e12)
+
+    def test_decays_with_distance(self, x2_cap):
+        near = component_capacitance(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.02, 0)
+        ).mutual_f
+        far = component_capacitance(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.06, 0)
+        ).mutual_f
+        assert near > far
+
+    def test_ground_capacitances_with_plane(self, x2_cap):
+        result = component_capacitance(
+            x2_cap,
+            Placement2D.at(0, 0),
+            FilmCapacitorX2(),
+            Placement2D.at(0.03, 0),
+            ground_plane_z=-1e-3,
+        )
+        assert result.c_ground_a > 0.0
+        assert result.c_ground_b > 0.0
+
+    def test_no_plane_no_ground_capacitance(self, x2_cap):
+        result = component_capacitance(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.03, 0)
+        )
+        assert result.c_ground_a == 0.0
+
+    def test_coincident_rejected(self, x2_cap):
+        with pytest.raises(ValueError):
+            component_capacitance(
+                x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0, 0)
+            )
+
+
+class TestLayoutCapacitances:
+    def test_all_placed_pairs(self):
+        problem = build_small_problem()
+        for i, comp in enumerate(problem.components.values()):
+            comp.placement = Placement2D.at(0.01 + 0.012 * i, 0.02)
+        cm = capacitive_layout_couplings(problem)
+        n = len(problem.components)
+        assert len(cm) == n * (n - 1) // 2
+        assert all(a < b for a, b in cm)
+
+    def test_floor_drops_tiny_pairs(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.0, 0.0)
+        problem.components["C2"].placement = Placement2D.at(0.06, 0.05)
+        cm = capacitive_layout_couplings(problem, c_floor=1e-12)
+        assert cm == {}
+
+
+class TestCircuitInsertion:
+    def test_applied_count_skips_same_node(self, buck_design):
+        circuit, _ = buck_design.emi_circuit()
+        applied = buck_design.apply_capacitive_couplings(
+            circuit,
+            {
+                ("CX1", "L1"): 0.5e-12,  # vin <-> sw: applied
+                ("CX2", "CIN"): 0.5e-12,  # both at vbus: skipped
+                ("CX1", "CONN1"): 0.5e-12,  # no hot node: skipped
+            },
+        )
+        assert applied == 1
+        assert any(e.name == "CPAR_CX1_L1" for e in circuit.elements)
+
+    def test_effect_grows_with_frequency(self, buck_design):
+        # The paper's remark: capacitive coupling matters at high frequency.
+        cm = {("CX1", "L1"): 1e-12, ("CX1", "Q1"): 1e-12}
+        base = buck_design.emission_spectrum()
+        with_c = buck_design.emission_spectrum(capacitive=cm)
+        delta = np.abs(with_c.dbuv() - base.dbuv())
+        freqs = base.freqs
+        low = float(np.max(delta[freqs < 2e6]))
+        high = float(np.max(delta[freqs > 30e6]))
+        assert high > low + 3.0
+        assert low < 2.0
+
+    def test_all_capacitive_nodes_exist_in_circuit(self, buck_design):
+        circuit, _ = buck_design.emi_circuit()
+        nodes = set(circuit.node_names())
+        for node in CAPACITIVE_NODES.values():
+            assert node in nodes

@@ -1,0 +1,83 @@
+"""Unit tests for the coupling database cache."""
+
+import pytest
+
+from repro.components import FilmCapacitorX2
+from repro.coupling import CouplingDatabase, pair_coupling_factor
+from repro.geometry import Placement2D
+
+
+class TestCaching:
+    def test_cache_hit_on_repeat(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.03, 0)
+        r1 = db.coupling(x2_cap, pa, other, pb)
+        r2 = db.coupling(x2_cap, pa, other, pb)
+        assert r1 is r2
+        assert db.hits == 1
+        assert db.misses == 1
+
+    def test_relative_pose_invariance_hits_cache(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        db.coupling(x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0))
+        # Same relative pose, different absolute location.
+        db.coupling(
+            x2_cap, Placement2D.at(0.01, 0.01), other, Placement2D.at(0.04, 0.01)
+        )
+        assert db.hits == 1
+
+    def test_swapped_operands_hit_mirror_key(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.03, 0)
+        db.coupling(x2_cap, pa, other, pb)
+        db.coupling(other, pb, x2_cap, pa)
+        assert db.hits == 1
+
+    def test_different_pose_misses(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        db.coupling(x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0))
+        db.coupling(x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.05, 0))
+        assert db.misses == 2
+
+    def test_clear(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        db.coupling(x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0))
+        db.clear()
+        assert db.cache_size() == 0
+        assert db.misses == 0
+
+
+class TestPairwise:
+    def test_all_pairs_count(self, x2_cap):
+        db = CouplingDatabase()
+        placed = [
+            ("C1", x2_cap, Placement2D.at(0, 0)),
+            ("C2", FilmCapacitorX2(), Placement2D.at(0.03, 0)),
+            ("C3", FilmCapacitorX2(), Placement2D.at(0, 0.03)),
+        ]
+        results = db.pairwise_couplings(placed)
+        assert len(results) == 3
+        assert all(a < b for a, b in results)
+
+    def test_values_match_direct_computation(self, x2_cap):
+        db = CouplingDatabase()
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.035, 0.005, 45)
+        res = db.coupling(x2_cap, pa, other, pb)
+        direct = pair_coupling_factor(x2_cap, pa, other, pb)
+        assert res.k == pytest.approx(direct, rel=1e-9)
+
+    def test_ground_plane_respected(self, x2_cap):
+        free_db = CouplingDatabase()
+        shielded_db = CouplingDatabase(ground_plane_z=-0.5e-3)
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.03, 0)
+        k_free = abs(free_db.coupling(x2_cap, pa, other, pb).k)
+        k_shld = abs(shielded_db.coupling(x2_cap, pa, other, pb).k)
+        assert k_shld != pytest.approx(k_free, rel=0.05)
+        assert shielded_db.coupling(x2_cap, pa, other, pb).shielded

@@ -1,0 +1,67 @@
+"""Unit tests for power-law coupling fits."""
+
+import numpy as np
+import pytest
+
+from repro.coupling import PowerLawFit, fit_power_law
+
+
+class TestFitExactData:
+    def test_recovers_exact_power_law(self):
+        d = np.array([0.01, 0.02, 0.03, 0.05, 0.08])
+        k = 2e-7 * d ** (-3.0)
+        fit = fit_power_law(d, k)
+        assert fit.n == pytest.approx(3.0, rel=1e-3)
+        assert fit.c == pytest.approx(2e-7, rel=1e-2)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-6)
+
+    def test_dipole_exponent_from_peec_data(self):
+        # Synthetic near-dipole data with 5 % noise still fits n ~ 3.
+        rng = np.random.default_rng(42)
+        d = np.geomspace(0.02, 0.1, 10)
+        k = 1e-7 * d ** (-3.0) * rng.uniform(0.95, 1.05, size=10)
+        fit = fit_power_law(d, k)
+        assert 2.7 < fit.n < 3.3
+        assert fit.r_squared > 0.98
+
+    def test_negative_couplings_use_magnitude(self):
+        d = np.array([0.01, 0.02, 0.04])
+        k = -1e-7 * d ** (-3.0)
+        fit = fit_power_law(d, k)
+        assert fit.n == pytest.approx(3.0, rel=1e-3)
+
+
+class TestFitValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([0.01, 0.02]), np.array([1.0, 0.5]))
+
+    def test_zero_couplings_dropped(self):
+        d = np.array([0.01, 0.02, 0.03, 0.04])
+        k = np.array([1e-3, 0.0, 0.0, 1e-5])
+        with pytest.raises(ValueError):
+            fit_power_law(d, k)
+
+
+class TestInversion:
+    def fit(self) -> PowerLawFit:
+        return PowerLawFit(c=1e-7, n=3.0, r_squared=1.0)
+
+    def test_predict_scalar_and_array(self):
+        fit = self.fit()
+        assert fit.predict(0.01) == pytest.approx(0.1)
+        out = fit.predict(np.array([0.01, 0.1]))
+        assert out[1] == pytest.approx(1e-4)
+
+    def test_distance_for_coupling_inverts_predict(self):
+        fit = self.fit()
+        d = fit.distance_for_coupling(0.01)
+        assert fit.predict(d) == pytest.approx(0.01, rel=1e-9)
+
+    def test_smaller_threshold_needs_more_distance(self):
+        fit = self.fit()
+        assert fit.distance_for_coupling(0.001) > fit.distance_for_coupling(0.01)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            self.fit().distance_for_coupling(0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for placed-pair coupling computation."""
+
+import pytest
+
+from repro.components import FilmCapacitorX2, small_bobbin_choke
+from repro.coupling import component_coupling, pair_coupling_factor
+from repro.geometry import Placement2D
+
+
+class TestBasicProperties:
+    def test_result_fields(self, x2_cap):
+        other = FilmCapacitorX2()
+        res = component_coupling(
+            x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0)
+        )
+        assert -1.0 <= res.k <= 1.0
+        assert res.self_a_h > 0.0
+        assert res.self_b_h > 0.0
+        assert not res.shielded
+        assert res.k_abs == abs(res.k)
+
+    def test_symmetry_under_swap(self, x2_cap):
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.025, 0.01, 30)
+        k_ab = pair_coupling_factor(x2_cap, pa, other, pb)
+        k_ba = pair_coupling_factor(other, pb, x2_cap, pa)
+        assert k_ab == pytest.approx(k_ba, rel=1e-6)
+
+    def test_rigid_motion_invariance(self, x2_cap):
+        other = FilmCapacitorX2()
+        k1 = pair_coupling_factor(
+            x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0)
+        )
+        k2 = pair_coupling_factor(
+            x2_cap, Placement2D.at(0.01, 0.02, 90), other, Placement2D.at(0.01, 0.05, 90)
+        )
+        assert k1 == pytest.approx(k2, rel=1e-6)
+
+    def test_decays_with_distance(self, x2_cap):
+        other = FilmCapacitorX2()
+        ks = [
+            abs(
+                pair_coupling_factor(
+                    x2_cap, Placement2D.at(0, 0), other, Placement2D.at(d, 0)
+                )
+            )
+            for d in (0.025, 0.04, 0.06)
+        ]
+        assert ks[0] > ks[1] > ks[2]
+
+    def test_perpendicular_on_axis_decouples(self, x2_cap):
+        other = FilmCapacitorX2()
+        k = pair_coupling_factor(
+            x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0, 90)
+        )
+        assert abs(k) < 1e-6
+
+
+class TestCoreCorrection:
+    def test_choke_choke_coupling_nonzero(self, bobbin):
+        other = small_bobbin_choke()
+        k = pair_coupling_factor(
+            bobbin, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0)
+        )
+        assert abs(k) > 1e-4
+
+    def test_mu_eff_enters_self_inductance(self, bobbin):
+        res = component_coupling(
+            bobbin,
+            Placement2D.at(0, 0),
+            small_bobbin_choke(),
+            Placement2D.at(0.04, 0),
+        )
+        assert res.self_a_h == pytest.approx(bobbin.self_inductance, rel=1e-6)
+        assert res.self_a_h > bobbin.geometric_inductance
+
+
+class TestGroundPlane:
+    def test_plane_shields_vertical_axis_loops(self):
+        from repro.components import BobbinChoke
+
+        a = BobbinChoke(orientation="vertical")
+        b = BobbinChoke(orientation="vertical")
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.035, 0)
+        free = abs(pair_coupling_factor(a, pa, b, pb))
+        shielded = abs(pair_coupling_factor(a, pa, b, pb, ground_plane_z=-0.5e-3))
+        assert shielded < free
+
+    def test_plane_changes_horizontal_axis_coupling(self, x2_cap):
+        # For vertical loops (horizontal magnetic axis) the image currents
+        # are co-circulating: the plane *enhances* the coupling — one of the
+        # reasons the paper's rules depend on the presence of planes.
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.03, 0)
+        free = abs(pair_coupling_factor(x2_cap, pa, other, pb))
+        shielded = abs(
+            pair_coupling_factor(x2_cap, pa, other, pb, ground_plane_z=-0.5e-3)
+        )
+        assert shielded != pytest.approx(free, rel=0.05)
+
+    def test_shielded_flag(self, x2_cap):
+        res = component_coupling(
+            x2_cap,
+            Placement2D.at(0, 0),
+            FilmCapacitorX2(),
+            Placement2D.at(0.03, 0),
+            ground_plane_z=0.0,
+        )
+        assert res.shielded
+
+    def test_far_plane_negligible(self, x2_cap):
+        other = FilmCapacitorX2()
+        pa, pb = Placement2D.at(0, 0), Placement2D.at(0.03, 0)
+        free = pair_coupling_factor(x2_cap, pa, other, pb)
+        nearly_free = pair_coupling_factor(x2_cap, pa, other, pb, ground_plane_z=-2.0)
+        assert nearly_free == pytest.approx(free, rel=0.02)

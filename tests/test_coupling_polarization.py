@@ -1,0 +1,76 @@
+"""Unit tests for phase-resolved CM-choke coupling (the Fig. 8 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.components import FilmCapacitorX2, cm_choke_2w, cm_choke_3w
+from repro.coupling import decoupling_sweep, polarized_coupling
+from repro.geometry import Placement2D
+
+
+class TestPolarizedCoupling:
+    def test_two_winding_linear_polarisation(self, x2_cap):
+        res = polarized_coupling(
+            cm_choke_2w(),
+            Placement2D.at(0, 0),
+            x2_cap,
+            Placement2D.at(0.03, 0.01),
+            excitation="phase",
+        )
+        # Co-phased windings => linearly polarised => a null orientation.
+        assert res.k_min < 1e-6
+        assert res.k_max > res.k_min
+        assert res.decouplable
+
+    def test_three_winding_rotating_field(self, x2_cap):
+        res = polarized_coupling(
+            cm_choke_3w(),
+            Placement2D.at(0, 0),
+            x2_cap,
+            Placement2D.at(0.03, 0.01),
+            excitation="phase",
+        )
+        assert res.k_min > 1e-5
+        assert not res.decouplable
+
+    def test_three_winding_common_mode_is_linear(self, x2_cap):
+        # With equal in-phase currents even 3 windings give a linear field.
+        res = polarized_coupling(
+            cm_choke_3w(),
+            Placement2D.at(0, 0),
+            x2_cap,
+            Placement2D.at(0.03, 0.01),
+            excitation="common",
+        )
+        assert res.k_min < 1e-6
+
+    def test_invalid_excitation(self, x2_cap):
+        with pytest.raises(ValueError):
+            polarized_coupling(
+                cm_choke_2w(),
+                Placement2D.at(0, 0),
+                x2_cap,
+                Placement2D.at(0.03, 0),
+                excitation="weird",
+            )
+
+    def test_best_angle_in_range(self, x2_cap):
+        res = polarized_coupling(
+            cm_choke_2w(), Placement2D.at(0, 0), x2_cap, Placement2D.at(0.03, 0.01)
+        )
+        assert 0.0 <= res.best_angle_deg <= 180.0
+
+
+class TestDecouplingSweep:
+    def test_paper_fig8_contrast(self, x2_cap):
+        angles = np.linspace(0, 300, 6)
+        _, kmin_2w = decoupling_sweep(cm_choke_2w(), x2_cap, 0.03, angles)
+        _, kmin_3w = decoupling_sweep(cm_choke_3w(), x2_cap, 0.03, angles)
+        # 2-winding: decoupled positions everywhere. 3-winding: nowhere.
+        assert float(np.max(kmin_2w)) < 1e-6
+        assert float(np.min(kmin_3w)) > 1e-5
+
+    def test_kmax_dominates_kmin(self, x2_cap):
+        angles = np.linspace(0, 270, 4)
+        kmax, kmin = decoupling_sweep(cm_choke_3w(), x2_cap, 0.03, angles)
+        assert np.all(kmax >= kmin)

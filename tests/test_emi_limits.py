@@ -1,0 +1,88 @@
+"""Unit tests for CISPR 25 limit lines."""
+
+import numpy as np
+import pytest
+
+from repro.emi import (
+    CISPR25_CLASS3_PEAK,
+    CISPR25_CLASS5_PEAK,
+    LimitLine,
+    LimitSegment,
+    Spectrum,
+)
+
+
+class TestSegments:
+    def test_invalid_segment(self):
+        with pytest.raises(ValueError):
+            LimitSegment(2e6, 1e6, 50.0)
+
+    def test_class3_has_protected_bands(self):
+        assert CISPR25_CLASS3_PEAK.level_at(200e3) == 70.0
+        assert CISPR25_CLASS3_PEAK.level_at(1e6) == 58.0
+        assert CISPR25_CLASS3_PEAK.level_at(100e6) == 46.0
+
+    def test_gaps_unconstrained(self):
+        # Between LW and MW (e.g. 400 kHz) CISPR 25 has no limit.
+        assert CISPR25_CLASS3_PEAK.level_at(400e3) is None
+
+    def test_class5_stricter_than_class3(self):
+        for freq in (200e3, 1e6, 6e6, 27e6, 40e6, 100e6):
+            l3 = CISPR25_CLASS3_PEAK.level_at(freq)
+            l5 = CISPR25_CLASS5_PEAK.level_at(freq)
+            assert l3 is not None and l5 is not None
+            assert l5 < l3
+
+
+class TestCompliance:
+    def spectrum(self, level_dbuv: float) -> Spectrum:
+        freqs = np.array([200e3, 1e6, 40e6])
+        volts = np.full(3, 1e-6 * 10 ** (level_dbuv / 20.0), dtype=complex)
+        return Spectrum(freqs, volts)
+
+    def test_quiet_spectrum_passes(self):
+        assert CISPR25_CLASS3_PEAK.passes(self.spectrum(30.0))
+
+    def test_loud_spectrum_fails(self):
+        assert not CISPR25_CLASS3_PEAK.passes(self.spectrum(80.0))
+
+    def test_violations_report_details(self):
+        violations = CISPR25_CLASS3_PEAK.violations(self.spectrum(60.0))
+        # 60 dBuV violates MW (58) and VHF I (50) but not LW (70).
+        freqs = [v[0] for v in violations]
+        assert 1e6 in freqs and 40e6 in freqs and 200e3 not in freqs
+
+    def test_out_of_band_lines_ignored(self):
+        s = Spectrum(np.array([400e3]), np.array([1.0], dtype=complex))
+        assert CISPR25_CLASS3_PEAK.passes(s)
+        assert CISPR25_CLASS3_PEAK.worst_margin_db(s) == float("inf")
+
+    def test_worst_margin(self):
+        margin = CISPR25_CLASS3_PEAK.worst_margin_db(self.spectrum(45.0))
+        # Tightest band among the three lines is VHF I at 50 dBuV.
+        assert margin == pytest.approx(5.0, abs=0.01)
+
+    def test_as_series_covers_segments(self):
+        fs, ls = CISPR25_CLASS3_PEAK.as_series()
+        assert len(fs) == 2 * len(CISPR25_CLASS3_PEAK.segments)
+        assert len(fs) == len(ls)
+
+
+class TestAverageLimits:
+    def test_average_below_peak_everywhere(self):
+        from repro.emi import CISPR25_CLASS3_AVG
+
+        for seg in CISPR25_CLASS3_AVG.segments:
+            peak = CISPR25_CLASS3_PEAK.level_at((seg.f_lo + seg.f_hi) / 2.0)
+            assert peak is not None
+            assert seg.level_dbuv == peak - 10.0
+
+    def test_average_compliance_is_stricter(self):
+        from repro.emi import CISPR25_CLASS3_AVG
+
+        freqs = np.array([1e6])
+        level = 1e-6 * 10 ** (52.0 / 20.0)
+        s = Spectrum(freqs, np.array([level], dtype=complex))
+        # 52 dBuV at MW: passes peak (58) but fails average (48).
+        assert CISPR25_CLASS3_PEAK.passes(s)
+        assert not CISPR25_CLASS3_AVG.passes(s)

@@ -1,0 +1,96 @@
+"""Unit tests for the CISPR 25 artificial network."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, MnaSystem
+from repro.emi import LISN_INDUCTANCE, RECEIVER_IMPEDANCE, add_lisn
+
+
+def lisn_fixture() -> tuple[Circuit, object]:
+    c = Circuit()
+    c.add_vsource("VSUP", "supply", "0", ac=0.0)
+    ports = add_lisn(c, "LISN", "supply", "eut")
+    return c, ports
+
+
+class TestTopology:
+    def test_created_elements(self):
+        c, _ = lisn_fixture()
+        names = {e.name for e in c.elements}
+        assert {"LISN.L", "LISN.Csup", "LISN.Cmeas", "LISN.Rrx", "LISN.Rdis"} <= names
+
+    def test_ports(self):
+        _, ports = lisn_fixture()
+        assert ports.measurement_node == "LISN.meas"
+        assert ports.series_inductor.inductance == LISN_INDUCTANCE
+
+    def test_standard_values(self):
+        assert LISN_INDUCTANCE == 5e-6
+        assert RECEIVER_IMPEDANCE == 50.0
+
+
+class TestImpedance:
+    def eut_impedance(self, freq: float) -> float:
+        """|Z| seen from the EUT port (supply side AC-shorted)."""
+        c, _ = lisn_fixture()
+        c.add_isource("ITEST", "0", "eut", ac=1.0)
+        sol = MnaSystem(c).solve_ac(freq)
+        return abs(sol.voltage("eut"))
+
+    def test_low_frequency_impedance_small(self):
+        # At 10 kHz the 5 uH dominates: |Z| ~ wL ~ 0.3 ohm.
+        z = self.eut_impedance(10e3)
+        assert z < 3.0
+
+    def test_midband_impedance_near_50(self):
+        # CISPR AN: |Z| approaches the 50 ohm receiver in band B.
+        z = self.eut_impedance(10e6)
+        assert 35.0 < z < 55.0
+
+    def test_impedance_rises_with_frequency(self):
+        z1 = self.eut_impedance(100e3)
+        z2 = self.eut_impedance(2e6)
+        assert z2 > z1
+
+
+class TestMeasurementPath:
+    def test_noise_current_produces_reading(self):
+        c, ports = lisn_fixture()
+        c.add_isource("INOISE", "0", "eut", ac=1e-3)
+        sol = MnaSystem(c).solve_ac(5e6)
+        v_meas = abs(sol.voltage(ports.measurement_node))
+        # ~1 mA into ~50 ohm => ~50 mV at the port.
+        assert 0.02 < v_meas < 0.06
+
+    def test_meas_tracks_eut_above_coupling_corner(self):
+        c, ports = lisn_fixture()
+        c.add_isource("INOISE", "0", "eut", ac=1e-3)
+        sol = MnaSystem(c).solve_ac(20e6)
+        ratio = abs(sol.voltage(ports.measurement_node)) / abs(sol.voltage("eut"))
+        assert ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_dc_blocked_from_receiver(self):
+        c, ports = lisn_fixture()
+        c.add_isource("INOISE", "0", "eut", ac=1e-3)
+        sol = MnaSystem(c).solve_ac(10.0)  # far below the 0.1 uF corner
+        assert abs(sol.voltage(ports.measurement_node)) < abs(sol.voltage("eut")) * 0.5
+
+    def test_supply_decoupled_at_hf(self):
+        c, ports = lisn_fixture()
+        c.add_isource("INOISE", "0", "eut", ac=1e-3)
+        sol = MnaSystem(c).solve_ac(10e6)
+        # The 5 uH chokes HF off the supply node.
+        assert abs(sol.voltage("supply")) < abs(sol.voltage("eut")) * 0.1
+
+    def test_two_lisns_coexist(self):
+        c = Circuit()
+        c.add_vsource("VSUP", "supply", "0", ac=0.0)
+        p1 = add_lisn(c, "LISN_P", "supply", "eut_p")
+        p2 = add_lisn(c, "LISN_N", "supply", "eut_n")
+        c.add_resistor("RX", "eut_p", "eut_n", 10.0)
+        sol = MnaSystem(c).solve_ac(1e6)
+        assert p1.measurement_node != p2.measurement_node
+        assert np.isfinite(abs(sol.voltage(p1.measurement_node)))

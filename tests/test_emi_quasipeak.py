@@ -1,0 +1,65 @@
+"""Unit tests for the quasi-peak detector extension."""
+
+import numpy as np
+import pytest
+
+from repro.emi import EmiReceiver, Spectrum, quasi_peak_correction_db
+
+
+class TestCorrectionCurve:
+    def test_high_prf_equals_peak(self):
+        # A 250 kHz converter: QP = peak in both bands.
+        assert quasi_peak_correction_db(250e3, 1e6) == 0.0
+        assert quasi_peak_correction_db(250e3, 100e6) == 0.0
+
+    def test_low_prf_reads_lower(self):
+        assert quasi_peak_correction_db(100.0, 1e6) < -30.0
+
+    def test_monotone_in_prf(self):
+        values = [quasi_peak_correction_db(prf, 1e6) for prf in (10, 100, 1e3, 1e4)]
+        assert values == sorted(values)
+
+    def test_band_b_floor(self):
+        assert quasi_peak_correction_db(0.1, 1e6) == -43.0
+
+    def test_band_cd_floor(self):
+        assert quasi_peak_correction_db(0.1, 100e6) == -20.0
+
+    def test_invalid_prf(self):
+        with pytest.raises(ValueError):
+            quasi_peak_correction_db(0.0, 1e6)
+
+
+class TestQuasiPeakDetector:
+    def line(self) -> Spectrum:
+        return Spectrum(np.array([1e6]), np.array([1e-3], dtype=complex))
+
+    def test_equals_peak_for_switching_converters(self):
+        peak = EmiReceiver("peak").measure_at(self.line(), 1e6)
+        qp = EmiReceiver("quasi-peak", pulse_rate_hz=250e3).measure_at(self.line(), 1e6)
+        assert qp == pytest.approx(peak)
+
+    def test_below_peak_for_slow_pulses(self):
+        peak = EmiReceiver("peak").measure_at(self.line(), 1e6)
+        qp = EmiReceiver("quasi-peak", pulse_rate_hz=50.0).measure_at(self.line(), 1e6)
+        assert qp < peak - 20.0
+
+    def test_qp_never_exceeds_peak(self):
+        lines = Spectrum(
+            np.array([1.000e6, 1.004e6]), np.array([1e-3, 1e-3], dtype=complex)
+        )
+        peak = EmiReceiver("peak").measure_at(lines, 1.002e6)
+        for prf in (10.0, 1e3, 1e5, 1e6):
+            qp = EmiReceiver("quasi-peak", pulse_rate_hz=prf).measure_at(
+                lines, 1.002e6
+            )
+            assert qp <= peak + 1e-9
+
+    def test_floor_still_respected(self):
+        rx = EmiReceiver("quasi-peak", noise_floor_dbuv=10.0, pulse_rate_hz=10.0)
+        weak = Spectrum(np.array([1e6]), np.array([2e-6], dtype=complex))
+        assert rx.measure_at(weak, 1e6) == 10.0
+
+    def test_invalid_detector_name(self):
+        with pytest.raises(ValueError):
+            EmiReceiver("qp")

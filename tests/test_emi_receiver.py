@@ -1,0 +1,92 @@
+"""Unit tests for the EMI receiver model."""
+
+import numpy as np
+import pytest
+
+from repro.emi import EmiReceiver, Spectrum, cispr_rbw
+
+
+class TestRbw:
+    def test_band_a(self):
+        assert cispr_rbw(50e3) == 200.0
+
+    def test_band_b(self):
+        assert cispr_rbw(1e6) == 9e3
+
+    def test_band_c(self):
+        assert cispr_rbw(100e6) == 120e3
+
+    def test_boundaries(self):
+        assert cispr_rbw(150e3) == 9e3
+        assert cispr_rbw(30e6) == 120e3
+
+
+class TestDetectors:
+    def lines(self) -> Spectrum:
+        # Two lines 4 kHz apart (inside one 9 kHz RBW) at 1 mV each.
+        return Spectrum(
+            np.array([1.000e6, 1.004e6]), np.array([1e-3, 1e-3], dtype=complex)
+        )
+
+    def test_peak_sums_magnitudes(self):
+        rx = EmiReceiver("peak")
+        level = rx.measure_at(self.lines(), 1.002e6)
+        assert level == pytest.approx(66.0, abs=0.1)  # 2 mV
+
+    def test_average_rss(self):
+        rx = EmiReceiver("average")
+        level = rx.measure_at(self.lines(), 1.002e6)
+        assert level == pytest.approx(63.0, abs=0.1)  # sqrt(2) mV
+
+    def test_peak_at_least_average(self):
+        peak = EmiReceiver("peak").measure_at(self.lines(), 1.002e6)
+        avg = EmiReceiver("average").measure_at(self.lines(), 1.002e6)
+        assert peak >= avg
+
+    def test_empty_window_reads_floor(self):
+        rx = EmiReceiver("peak", noise_floor_dbuv=6.0)
+        assert rx.measure_at(self.lines(), 50e6) == 6.0
+
+    def test_invalid_detector(self):
+        with pytest.raises(ValueError):
+            EmiReceiver("rms-average")
+
+
+class TestSweepAndTrace:
+    def comb(self) -> Spectrum:
+        freqs = 250e3 * np.arange(1, 101)
+        values = 1e-3 / np.arange(1, 101)
+        return Spectrum(freqs, values.astype(complex))
+
+    def test_sweep_returns_spectrum(self):
+        rx = EmiReceiver("peak", noise_floor_dbuv=0.0)
+        grid = np.linspace(200e3, 20e6, 50)
+        trace = rx.sweep(self.comb(), grid)
+        assert len(trace) == 50
+        assert np.all(trace.dbuv() >= 0.0)
+
+    def test_display_trace_catches_every_line(self):
+        rx = EmiReceiver("peak", noise_floor_dbuv=0.0)
+        grid = rx.standard_grid(points=60)
+        trace = rx.display_trace(self.comb(), grid)
+        # The strongest line (60 dBuV at 250 kHz) must appear in some bin.
+        assert np.max(trace.dbuv()) == pytest.approx(60.0, abs=0.5)
+
+    def test_display_trace_floor_in_empty_bins(self):
+        rx = EmiReceiver("peak", noise_floor_dbuv=4.0)
+        sparse = Spectrum(np.array([1e6]), np.array([1e-3], dtype=complex))
+        grid = rx.standard_grid(points=40)
+        trace = rx.display_trace(sparse, grid)
+        assert np.min(trace.dbuv()) == pytest.approx(4.0, abs=0.1)
+
+    def test_display_trace_grid_validation(self):
+        rx = EmiReceiver()
+        with pytest.raises(ValueError):
+            rx.display_trace(self.comb(), np.array([1e6]))
+
+    def test_standard_grid(self):
+        grid = EmiReceiver.standard_grid()
+        assert grid[0] == pytest.approx(150e3)
+        assert grid[-1] == pytest.approx(108e6)
+        with pytest.raises(ValueError):
+            EmiReceiver.standard_grid(1e6, 1e5)

@@ -1,0 +1,61 @@
+"""Unit tests for CM/DM noise separation."""
+
+import numpy as np
+import pytest
+
+from repro.emi import Spectrum, separate_modes
+
+
+def make(values_pos, values_neg):
+    freqs = np.arange(1, len(values_pos) + 1) * 1e6
+    return (
+        Spectrum(freqs, np.asarray(values_pos, dtype=complex)),
+        Spectrum(freqs, np.asarray(values_neg, dtype=complex)),
+    )
+
+
+class TestSeparation:
+    def test_pure_common_mode(self):
+        pos, neg = make([1.0, 2.0], [1.0, 2.0])
+        split = separate_modes(pos, neg)
+        assert np.allclose(np.abs(split.common_mode.values), [1.0, 2.0])
+        assert np.allclose(np.abs(split.differential_mode.values), 0.0)
+
+    def test_pure_differential_mode(self):
+        pos, neg = make([1.0], [-1.0])
+        split = separate_modes(pos, neg)
+        assert abs(split.common_mode.values[0]) == pytest.approx(0.0)
+        assert abs(split.differential_mode.values[0]) == pytest.approx(1.0)
+
+    def test_reconstruction(self):
+        pos, neg = make([1.0 + 0.5j, 0.2], [0.3, -0.1 + 0.2j])
+        split = separate_modes(pos, neg)
+        rebuilt_pos = split.common_mode.values + split.differential_mode.values
+        rebuilt_neg = split.common_mode.values - split.differential_mode.values
+        assert np.allclose(rebuilt_pos, pos.values)
+        assert np.allclose(rebuilt_neg, neg.values)
+
+    def test_grid_mismatch_rejected(self):
+        pos = Spectrum(np.array([1e6]), np.array([1.0], dtype=complex))
+        neg = Spectrum(np.array([2e6]), np.array([1.0], dtype=complex))
+        with pytest.raises(ValueError):
+            separate_modes(pos, neg)
+
+
+class TestModeSplit:
+    def test_dominant_mode(self):
+        pos, neg = make([1.0, 1.0], [1.0, -1.0])
+        split = separate_modes(pos, neg)
+        assert split.dominant_mode_at(0) == "CM"
+        assert split.dominant_mode_at(1) == "DM"
+
+    def test_cm_fraction_bounds(self):
+        pos, neg = make([1.0, 0.5], [0.9, -0.5])
+        frac = separate_modes(pos, neg).cm_fraction()
+        assert 0.0 <= frac <= 1.0
+
+    def test_cm_fraction_pure_cases(self):
+        pos, neg = make([1.0], [1.0])
+        assert separate_modes(pos, neg).cm_fraction() == pytest.approx(1.0)
+        pos, neg = make([1.0], [-1.0])
+        assert separate_modes(pos, neg).cm_fraction() == pytest.approx(0.0)

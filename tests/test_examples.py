@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are the public face of the library; this guard keeps them from
+rotting when APIs move.  Each script runs in a subprocess with the repo's
+interpreter and must exit 0 without writing to stderr beyond warnings.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_discovered():
+    # The repository promises at least the documented example set.
+    assert len(SCRIPTS) >= 6
+    assert "quickstart.py" in SCRIPTS
+    assert "buck_converter_emi.py" in SCRIPTS

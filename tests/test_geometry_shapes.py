@@ -1,0 +1,164 @@
+"""Unit tests for Rect, OrientedRect and Cuboid collision primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry import Cuboid, OrientedRect, Placement2D, Rect, Vec2
+
+
+class TestRect:
+    def test_invalid_extents(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_basic_measures(self):
+        r = Rect(0.0, 0.0, 2.0, 1.0)
+        assert r.width == 2.0
+        assert r.height == 1.0
+        assert r.area() == 2.0
+        assert r.center() == Vec2(1.0, 0.5)
+
+    def test_overlap_true(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_touching_edges_do_not_overlap(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert not a.overlaps(b)
+
+    def test_overlap_area(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_separation_diagonal(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(4, 5, 6, 6)
+        assert a.separation(b) == pytest.approx(math.hypot(3.0, 4.0))
+
+    def test_separation_zero_when_overlapping(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.separation(Rect(1, 1, 3, 3)) == 0.0
+
+    def test_inflated(self):
+        r = Rect(0, 0, 2, 2).inflated(0.5)
+        assert r.xmin == -0.5 and r.xmax == 2.5
+
+    def test_inflate_negative_clamps(self):
+        r = Rect(0, 0, 1, 1).inflated(-2.0)
+        assert r.xmax >= r.xmin
+        assert r.ymax >= r.ymin
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3))
+        assert u == Rect(0, 0, 3, 3)
+
+    def test_from_center(self):
+        r = Rect.from_center(Vec2(1.0, 1.0), 2.0, 4.0)
+        assert r == Rect(0.0, -1.0, 2.0, 3.0)
+
+    def test_bounding(self):
+        r = Rect.bounding([Vec2(0, 1), Vec2(2, -1), Vec2(1, 3)])
+        assert r == Rect(0, -1, 2, 3)
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(Vec2(0.5, 0.5))
+        assert r.contains_point(Vec2(1.0, 1.0))
+        assert not r.contains_point(Vec2(1.1, 0.5))
+
+
+class TestOrientedRect:
+    def test_aabb_unrotated(self):
+        r = OrientedRect(Vec2(1.0, 1.0), 0.5, 0.25)
+        assert r.aabb() == Rect(0.5, 0.75, 1.5, 1.25)
+
+    def test_aabb_rotated_90(self):
+        r = OrientedRect(Vec2(0.0, 0.0), 1.0, 0.5, math.pi / 2.0)
+        box = r.aabb()
+        assert box.width == pytest.approx(1.0)
+        assert box.height == pytest.approx(2.0)
+
+    def test_aabb_45_grows(self):
+        r = OrientedRect(Vec2(0.0, 0.0), 1.0, 1.0, math.pi / 4.0)
+        assert r.aabb().width == pytest.approx(2.0 * math.sqrt(2.0))
+
+    def test_area_rotation_invariant(self):
+        a = OrientedRect(Vec2.zero(), 1.0, 0.5, 0.0).area()
+        b = OrientedRect(Vec2.zero(), 1.0, 0.5, 1.234).area()
+        assert a == pytest.approx(b)
+
+    def test_contains_point_rotated(self):
+        r = OrientedRect(Vec2(0.0, 0.0), 1.0, 0.1, math.pi / 2.0)
+        assert r.contains_point(Vec2(0.0, 0.9))
+        assert not r.contains_point(Vec2(0.9, 0.0))
+
+    def test_sat_overlap_rotated(self):
+        a = OrientedRect(Vec2(0.0, 0.0), 1.0, 1.0)
+        b = OrientedRect(Vec2(2.5, 0.0), 1.0, 1.0, math.pi / 4.0)
+        # b's corner reaches x = 2.5 - sqrt(2) ~ 1.09 > 1 => no overlap.
+        assert not a.overlaps(b)
+        c = OrientedRect(Vec2(2.2, 0.0), 1.0, 1.0, math.pi / 4.0)
+        # corner at 2.2 - 1.41 = 0.79 < 1 => overlap.
+        assert a.overlaps(c)
+
+    def test_aabbs_overlap_but_rects_do_not(self):
+        a = OrientedRect(Vec2(0.0, 0.0), 1.0, 0.05, math.pi / 4.0)
+        b = OrientedRect(Vec2(1.0, -1.0), 1.0, 0.05, math.pi / 4.0)
+        assert a.aabb().overlaps(b.aabb())
+        assert not a.overlaps(b)
+
+    def test_from_footprint(self):
+        p = Placement2D.at(1.0, 2.0, rotation_deg=90.0)
+        r = OrientedRect.from_footprint(0.02, 0.01, p)
+        assert r.center == Vec2(1.0, 2.0)
+        box = r.aabb()
+        assert box.width == pytest.approx(0.01)
+        assert box.height == pytest.approx(0.02)
+
+    def test_transformed(self):
+        base = OrientedRect(Vec2(0.01, 0.0), 0.01, 0.005)
+        moved = base.transformed(Placement2D.at(0.0, 0.0, rotation_deg=90.0))
+        assert moved.center.is_close(Vec2(0.0, 0.01), tol=1e-12)
+        assert moved.rotation_rad == pytest.approx(math.pi / 2.0)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            OrientedRect(Vec2.zero(), -1.0, 1.0)
+
+
+class TestCuboid:
+    def test_invalid_z(self):
+        with pytest.raises(ValueError):
+            Cuboid(Rect(0, 0, 1, 1), 1.0, 0.0)
+
+    def test_volume(self):
+        c = Cuboid(Rect(0, 0, 2, 1), 0.0, 3.0)
+        assert c.volume() == pytest.approx(6.0)
+
+    def test_overlap_requires_z_intersection(self):
+        a = Cuboid(Rect(0, 0, 1, 1), 0.0, 1.0)
+        b = Cuboid(Rect(0, 0, 1, 1), 1.5, 2.0)
+        assert not a.overlaps(b)
+        c = Cuboid(Rect(0, 0, 1, 1), 0.5, 2.0)
+        assert a.overlaps(c)
+
+    def test_z_offset_keepout_admits_short_part(self):
+        # Keepout starting at 5 mm height (heatsink overhang).
+        keepout = Cuboid(Rect(0, 0, 0.05, 0.05), 5e-3, 20e-3)
+        short_part = Cuboid.from_body(Rect(0.01, 0.01, 0.02, 0.02), 3e-3)
+        tall_part = Cuboid.from_body(Rect(0.01, 0.01, 0.02, 0.02), 8e-3)
+        assert not keepout.overlaps(short_part)
+        assert keepout.overlaps(tall_part)
+
+    def test_translated(self):
+        c = Cuboid(Rect(0, 0, 1, 1), 0.0, 1.0).translated(Vec2(1.0, 2.0), dz=0.5)
+        assert c.rect.xmin == 1.0
+        assert c.zmin == 0.5

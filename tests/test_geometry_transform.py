@@ -1,0 +1,106 @@
+"""Unit tests for placements and rigid transforms."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Placement2D,
+    Transform3D,
+    Vec2,
+    Vec3,
+    angle_between,
+    normalize_angle,
+)
+
+
+class TestNormalizeAngle:
+    def test_wraps_positive(self):
+        assert normalize_angle(3.0 * math.pi) == pytest.approx(math.pi)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-math.pi / 2.0) == pytest.approx(1.5 * math.pi)
+
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+
+class TestAngleBetween:
+    def test_symmetric(self):
+        assert angle_between(0.2, 1.4) == pytest.approx(angle_between(1.4, 0.2))
+
+    def test_wraparound(self):
+        assert angle_between(0.1, 2.0 * math.pi - 0.1) == pytest.approx(0.2)
+
+    def test_max_is_pi(self):
+        assert angle_between(0.0, math.pi) == pytest.approx(math.pi)
+
+
+class TestPlacement2D:
+    def test_apply_translates(self):
+        p = Placement2D(Vec2(1.0, 2.0))
+        assert p.apply(Vec2(0.5, 0.0)).is_close(Vec2(1.5, 2.0))
+
+    def test_apply_rotates_then_translates(self):
+        p = Placement2D.at(1.0, 0.0, rotation_deg=90.0)
+        out = p.apply(Vec2(1.0, 0.0))
+        assert out.is_close(Vec2(1.0, 1.0), tol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        p = Placement2D.at(0.3, -0.2, rotation_deg=37.0)
+        local = Vec2(0.01, 0.02)
+        assert p.inverse_apply(p.apply(local)).is_close(local, tol=1e-12)
+
+    def test_apply_direction_ignores_translation(self):
+        p = Placement2D.at(5.0, 5.0, rotation_deg=180.0)
+        d = p.apply_direction(Vec2(1.0, 0.0))
+        assert d.is_close(Vec2(-1.0, 0.0), tol=1e-12)
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            Placement2D(Vec2.zero(), side=2)
+
+    def test_moved_and_rotated_copies(self):
+        p = Placement2D.at(0.0, 0.0, rotation_deg=10.0)
+        q = p.moved_to(Vec2(1.0, 1.0))
+        assert q.position == Vec2(1.0, 1.0)
+        assert q.rotation_deg == pytest.approx(10.0)
+        r = p.rotated_to(math.pi)
+        assert r.rotation_deg == pytest.approx(180.0)
+
+    def test_translated(self):
+        p = Placement2D.at(1.0, 1.0)
+        assert p.translated(Vec2(0.5, -0.5)).position.is_close(Vec2(1.5, 0.5))
+
+
+class TestTransform3D:
+    def test_lift_from_placement(self):
+        p = Placement2D.at(1.0, 2.0, rotation_deg=90.0)
+        t = p.to_transform3d()
+        out = t.apply(Vec3(1.0, 0.0, 0.5))
+        assert out.is_close(Vec3(1.0, 3.0, 0.5), tol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        t = Transform3D(Vec3(0.1, 0.2, 0.3), rotation_z_rad=0.7)
+        p = Vec3(0.01, -0.02, 0.03)
+        assert t.inverse_apply(t.apply(p)).is_close(p, tol=1e-12)
+
+    def test_mirror_roundtrip(self):
+        t = Transform3D(Vec3(0.0, 0.0, 0.0), rotation_z_rad=0.3, mirror_z=True)
+        p = Vec3(0.01, 0.02, 0.03)
+        assert t.inverse_apply(t.apply(p)).is_close(p, tol=1e-12)
+
+    def test_mirror_flips_z_direction(self):
+        t = Transform3D(Vec3.zero(), mirror_z=True)
+        assert t.apply_direction(Vec3(0.0, 0.0, 1.0)).is_close(Vec3(0.0, 0.0, -1.0))
+
+    def test_bottom_side_placement_mirrors(self):
+        p = Placement2D(Vec2.zero(), side=-1)
+        t = p.to_transform3d()
+        assert t.mirror_z
+        assert t.apply(Vec3(0.0, 0.0, 1e-3)).z == pytest.approx(-1e-3)
+
+    def test_identity(self):
+        t = Transform3D.identity()
+        v = Vec3(1.0, 2.0, 3.0)
+        assert t.apply(v).is_close(v)

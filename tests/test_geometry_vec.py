@@ -1,0 +1,124 @@
+"""Unit tests for the vector types."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Vec2, Vec3, almost_equal, deg_to_rad, rad_to_deg
+
+
+class TestVec2:
+    def test_arithmetic(self):
+        a = Vec2(1.0, 2.0)
+        b = Vec2(3.0, -1.0)
+        assert (a + b) == Vec2(4.0, 1.0)
+        assert (a - b) == Vec2(-2.0, 3.0)
+        assert (a * 2.0) == Vec2(2.0, 4.0)
+        assert (2.0 * a) == Vec2(2.0, 4.0)
+        assert (a / 2.0) == Vec2(0.5, 1.0)
+        assert (-a) == Vec2(-1.0, -2.0)
+
+    def test_dot_and_cross(self):
+        a = Vec2(1.0, 0.0)
+        b = Vec2(0.0, 1.0)
+        assert a.dot(b) == 0.0
+        assert a.cross(b) == 1.0
+        assert b.cross(a) == -1.0
+
+    def test_norm(self):
+        assert Vec2(3.0, 4.0).norm() == pytest.approx(5.0)
+        assert Vec2(3.0, 4.0).norm_sq() == pytest.approx(25.0)
+
+    def test_normalized(self):
+        n = Vec2(3.0, 4.0).normalized()
+        assert n.norm() == pytest.approx(1.0)
+        assert n.x == pytest.approx(0.6)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2.zero().normalized()
+
+    def test_perp_is_ccw(self):
+        p = Vec2(1.0, 0.0).perp()
+        assert p.is_close(Vec2(0.0, 1.0))
+
+    def test_rotated(self):
+        r = Vec2(1.0, 0.0).rotated(math.pi / 2.0)
+        assert r.is_close(Vec2(0.0, 1.0), tol=1e-12)
+
+    def test_rotation_preserves_norm(self):
+        v = Vec2(2.5, -1.3)
+        assert v.rotated(0.7).norm() == pytest.approx(v.norm())
+
+    def test_angle(self):
+        assert Vec2(0.0, 1.0).angle() == pytest.approx(math.pi / 2.0)
+        assert Vec2(-1.0, 0.0).angle() == pytest.approx(math.pi)
+
+    def test_distance(self):
+        assert Vec2(0.0, 0.0).distance_to(Vec2(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_from_polar(self):
+        p = Vec2.from_polar(2.0, math.pi)
+        assert p.is_close(Vec2(-2.0, 0.0), tol=1e-12)
+
+    def test_as_array(self):
+        arr = Vec2(1.0, 2.0).as_array()
+        assert arr.shape == (2,)
+        assert np.allclose(arr, [1.0, 2.0])
+
+    def test_as_vec3(self):
+        v = Vec2(1.0, 2.0).as_vec3(3.0)
+        assert v == Vec3(1.0, 2.0, 3.0)
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(0.5, -1.0, 2.0)
+        assert (a + b) == Vec3(1.5, 1.0, 5.0)
+        assert (a - b) == Vec3(0.5, 3.0, 1.0)
+        assert (a * 2.0) == Vec3(2.0, 4.0, 6.0)
+        assert (a / 2.0) == Vec3(0.5, 1.0, 1.5)
+
+    def test_cross_right_handed(self):
+        x = Vec3(1.0, 0.0, 0.0)
+        y = Vec3(0.0, 1.0, 0.0)
+        assert x.cross(y).is_close(Vec3(0.0, 0.0, 1.0))
+        assert y.cross(x).is_close(Vec3(0.0, 0.0, -1.0))
+
+    def test_cross_self_is_zero(self):
+        v = Vec3(1.0, 2.0, 3.0)
+        assert v.cross(v).norm() == pytest.approx(0.0)
+
+    def test_rotated_z(self):
+        v = Vec3(1.0, 0.0, 5.0).rotated_z(math.pi / 2.0)
+        assert v.is_close(Vec3(0.0, 1.0, 5.0), tol=1e-12)
+
+    def test_mirrored_z(self):
+        v = Vec3(1.0, 2.0, 3.0).mirrored_z(plane_z=1.0)
+        assert v == Vec3(1.0, 2.0, -1.0)
+
+    def test_mirror_is_involution(self):
+        v = Vec3(1.0, 2.0, 3.0)
+        assert v.mirrored_z(0.5).mirrored_z(0.5).is_close(v)
+
+    def test_xy_projection(self):
+        assert Vec3(1.0, 2.0, 3.0).xy() == Vec2(1.0, 2.0)
+
+    def test_from_array_roundtrip(self):
+        v = Vec3(1.0, -2.0, 0.25)
+        assert Vec3.from_array(v.as_array()) == v
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3.zero().normalized()
+
+
+class TestAngleHelpers:
+    def test_deg_rad_roundtrip(self):
+        assert rad_to_deg(deg_to_rad(137.0)) == pytest.approx(137.0)
+
+    def test_almost_equal(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+        assert not almost_equal(1.0, 1.1)

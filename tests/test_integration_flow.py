@@ -1,0 +1,131 @@
+"""Integration tests: the full paper flow end to end.
+
+These tests exercise the complete chain — system simulation, sensitivity
+analysis, rule derivation, automatic placement, field verification and
+CISPR comparison — on the buck-converter demonstrator, asserting the
+*shape* of the paper's evaluation results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.converters import build_demo_board
+from repro.emi import CISPR25_CLASS3_PEAK
+from repro.io import read_problem, write_problem
+from repro.placement import AutoPlacer, DesignRuleChecker, InteractiveSession
+from repro.viz import render_board_svg
+
+
+class TestFig1Fig2Shape:
+    """Same parts, same board, only placement differs (Figs. 1 and 2)."""
+
+    def test_double_digit_improvement(self, layout_comparison):
+        baseline = layout_comparison["baseline"].spectrum
+        optimized = layout_comparison["optimized"].spectrum
+        improvement = baseline.dbuv() - optimized.dbuv()
+        assert float(np.max(improvement)) > 8.0
+
+    def test_high_frequency_band_improves(self, layout_comparison):
+        baseline = layout_comparison["baseline"].spectrum
+        optimized = layout_comparison["optimized"].spectrum
+        assert baseline.max_dbuv_in(5e6, 108e6) > optimized.max_dbuv_in(5e6, 108e6) + 6.0
+
+    def test_limit_compliance_ordering(self, layout_comparison):
+        worse = layout_comparison["baseline"].worst_margin_db
+        better = layout_comparison["optimized"].worst_margin_db
+        assert better > worse
+        # The unfavourable layout exceeds the class-3 limits (Fig. 1).
+        assert not CISPR25_CLASS3_PEAK.passes(layout_comparison["baseline"].spectrum)
+
+
+class TestFig12To14Shape:
+    """Prediction versus (synthetic) measurement."""
+
+    def test_coupled_model_matches_measurement(self, design_flow, layout_comparison):
+        ev = layout_comparison["baseline"]
+        measurement = design_flow.measurement_for(ev)
+        trace_meas = design_flow.receiver_trace(measurement)
+        trace_with = design_flow.receiver_trace(ev.spectrum)
+        trace_without = design_flow.receiver_trace(design_flow.predict())
+        mae_with = trace_meas.mean_abs_error_db(trace_with)
+        mae_without = trace_meas.mean_abs_error_db(trace_without)
+        # Fig. 14: "good coincidence" with couplings...
+        assert mae_with < 3.0
+        # ... Fig. 12/13: "no correlation" without them.
+        assert mae_without > mae_with + 6.0
+
+    def test_correlation_ordering(self, design_flow, layout_comparison):
+        ev = layout_comparison["baseline"]
+        measurement = design_flow.measurement_for(ev)
+        trace_meas = design_flow.receiver_trace(measurement)
+        corr_with = trace_meas.correlation_db(design_flow.receiver_trace(ev.spectrum))
+        corr_without = trace_meas.correlation_db(
+            design_flow.receiver_trace(design_flow.predict())
+        )
+        assert corr_with > corr_without
+        assert corr_with > 0.95
+
+
+class TestFig9Shape:
+    """Automatic placement of the 29-device board in seconds."""
+
+    def test_demo_board_placed_fast_and_legally(self):
+        problem = build_demo_board()
+        report = AutoPlacer(problem).run()
+        assert report.placed_count == 29
+        assert report.violations_after == 0
+        # The paper quotes "seconds"; leave generous CI headroom.
+        assert report.runtime_s < 60.0
+
+    def test_three_groups_coherent(self):
+        from repro.placement import group_spread
+
+        problem = build_demo_board()
+        AutoPlacer(problem).run()
+        board_diag = 0.128  # sqrt(0.1^2 + 0.08^2)
+        for group in problem.groups:
+            assert group_spread(problem, group.name) < board_diag * 0.7
+
+
+class TestFig15To18Shape:
+    """DRC visualisation before/after, groups displayed."""
+
+    def test_red_markers_before_green_after(self, layout_comparison):
+        base_problem = layout_comparison["baseline"].problem
+        opt_problem = layout_comparison["optimized"].problem
+        red_before = [
+            m for m in DesignRuleChecker(base_problem).rule_markers() if not m.satisfied
+        ]
+        red_after = [
+            m for m in DesignRuleChecker(opt_problem).rule_markers() if not m.satisfied
+        ]
+        assert red_before
+        assert not red_after
+
+    def test_svg_artifacts_render(self, layout_comparison):
+        for ev in layout_comparison.values():
+            svg = render_board_svg(ev.problem, title=ev.name)
+            assert svg.startswith("<svg")
+
+
+class TestInteractiveRefinement:
+    def test_volume_minimisation_keeps_legality(self, design_flow):
+        problem, _ = design_flow.place_optimized()
+        session = InteractiveSession(problem)
+        area0 = session.area()
+        for ref in list(problem.components):
+            for _ in range(4):
+                if session.compact_step(ref, step=1e-3) is None:
+                    break
+        assert session.area() <= area0 + 1e-12
+        assert session.board_is_legal()
+
+
+class TestAsciiInterfaceFlow:
+    def test_flow_problem_roundtrips_and_replaces(self, design_flow):
+        problem = design_flow.problem_with_rules()
+        text = write_problem(problem, title="buck with derived rules")
+        again = read_problem(text)
+        report = AutoPlacer(again).run()
+        assert report.violations_after == 0
+        assert len(again.rules.min_distance) == len(problem.rules.min_distance)

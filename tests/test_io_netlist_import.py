@@ -1,0 +1,87 @@
+"""Unit tests for the netlist -> placement-problem importer."""
+
+import pytest
+
+from repro.circuit import parse_netlist
+from repro.components import CommonModeChoke, FilmCapacitorX2
+from repro.io import default_part_for, problem_from_netlist
+from repro.placement import AutoPlacer
+
+
+PI_FILTER = """
+V1 in 0 ac=1
+C1 in 0 1.5u esr=15m esl=14n
+L1 in mid 5.5u esr=20m
+C2 mid 0 1.5u esr=15m esl=14n
+C3 mid 0 470u esr=60m esl=10n
+R1 mid out 10
+C4 out 0 10n
+"""
+
+
+class TestDefaultParts:
+    def test_capacitor_by_value(self):
+        c = parse_netlist("C1 a 0 470u").elements[0]
+        assert type(default_part_for(c)).__name__ == "ElectrolyticCapacitor"
+        c = parse_netlist("C1 a 0 1u").elements[0]
+        assert type(default_part_for(c)).__name__ == "FilmCapacitorX2"
+        c = parse_netlist("C1 a 0 10n").elements[0]
+        assert type(default_part_for(c)).__name__ == "CeramicCapacitor"
+
+    def test_inductor_keeps_value(self):
+        l = parse_netlist("L1 a b 33u").elements[0]
+        part = default_part_for(l)
+        assert part.inductance == pytest.approx(33e-6)
+
+    def test_resistor_value(self):
+        r = parse_netlist("R1 a b 4.7k").elements[0]
+        assert default_part_for(r).resistance == pytest.approx(4.7e3)
+
+    def test_sources_become_connectors(self):
+        v = parse_netlist("V1 a 0 ac=1").elements[0]
+        assert type(default_part_for(v)).__name__ == "Connector"
+
+
+class TestImport:
+    def test_expanded_parasitics_collapse(self):
+        problem = problem_from_netlist(PI_FILTER)
+        # C1 expanded to C1.C/C1.ESR/C1.ESL in the circuit, but places once.
+        assert set(problem.components) == {"V1", "C1", "L1", "C2", "C3", "R1", "C4"}
+
+    def test_nets_reflect_shared_nodes(self):
+        problem = problem_from_netlist(PI_FILTER)
+        by_name = {n.name: n for n in problem.nets}
+        assert {r for r, _ in by_name["N_mid"].pins} == {"L1", "C2", "C3", "R1"}
+
+    def test_ground_not_a_net(self):
+        problem = problem_from_netlist(PI_FILTER)
+        assert not any(n.name == "N_0" for n in problem.nets)
+
+    def test_part_map_overrides(self):
+        problem = problem_from_netlist(
+            PI_FILTER, part_map={"L1": CommonModeChoke(part_number="L1-CMC")}
+        )
+        assert type(problem.components["L1"].component).__name__ == "CommonModeChoke"
+
+    def test_board_dimensions(self):
+        problem = problem_from_netlist(PI_FILTER, board_width=0.1, board_height=0.05)
+        xmin, ymin, xmax, ymax = problem.board(0).outline.bbox()
+        assert xmax - xmin == pytest.approx(0.1)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ValueError):
+            problem_from_netlist("* nothing here\n")
+
+    def test_imported_problem_placeable(self):
+        problem = problem_from_netlist(PI_FILTER)
+        report = AutoPlacer(problem).run()
+        assert report.placed_count == len(problem.components)
+        assert report.violations_after == 0
+
+    def test_explicit_parts_keep_pads(self):
+        problem = problem_from_netlist(
+            "C1 a b 1u\nC2 b c 1u\n",
+            part_map={"C1": FilmCapacitorX2(part_number="C1-X2")},
+        )
+        net_b = next(n for n in problem.nets if n.name == "N_b")
+        assert ("C1", "2") in net_b.pins or ("C1", "1") in net_b.pins

@@ -1,0 +1,87 @@
+"""Unit tests for partial capacitances (the E-field extension)."""
+
+import math
+
+import pytest
+
+from repro.peec import (
+    EPS0,
+    equivalent_radius,
+    mutual_capacitance_spheres,
+    plate_capacitance,
+    sphere_self_capacitance,
+)
+
+
+class TestSphereCapacitance:
+    def test_textbook_value(self):
+        # A 1 cm radius sphere: ~1.11 pF.
+        assert sphere_self_capacitance(0.01) == pytest.approx(1.11e-12, rel=0.01)
+
+    def test_linear_in_radius(self):
+        assert sphere_self_capacitance(0.02) == pytest.approx(
+            2.0 * sphere_self_capacitance(0.01)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sphere_self_capacitance(0.0)
+
+
+class TestMutualCapacitance:
+    def test_inverse_distance(self):
+        c1 = mutual_capacitance_spheres(5e-3, 5e-3, 0.05)
+        c2 = mutual_capacitance_spheres(5e-3, 5e-3, 0.10)
+        assert c1 == pytest.approx(2.0 * c2)
+
+    def test_symmetric(self):
+        assert mutual_capacitance_spheres(3e-3, 7e-3, 0.04) == pytest.approx(
+            mutual_capacitance_spheres(7e-3, 3e-3, 0.04)
+        )
+
+    def test_clamped_below_self_capacitance(self):
+        tight = mutual_capacitance_spheres(5e-3, 5e-3, 1e-4)
+        assert tight < sphere_self_capacitance(5e-3)
+
+    def test_sub_picofarad_at_board_scale(self):
+        # Typical component bodies a few cm apart: fractions of a pF.
+        c = mutual_capacitance_spheres(6e-3, 6e-3, 0.03)
+        assert 0.05e-12 < c < 2e-12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mutual_capacitance_spheres(0.0, 1e-3, 0.01)
+        with pytest.raises(ValueError):
+            mutual_capacitance_spheres(1e-3, 1e-3, 0.0)
+
+
+class TestPlateCapacitance:
+    def test_formula(self):
+        assert plate_capacitance(1e-4, 1e-3) == pytest.approx(EPS0 * 1e-4 / 1e-3)
+
+    def test_dielectric(self):
+        assert plate_capacitance(1e-4, 1e-3, eps_r=4.0) == pytest.approx(
+            4.0 * plate_capacitance(1e-4, 1e-3)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            plate_capacitance(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            plate_capacitance(1e-4, 1e-3, eps_r=0.5)
+
+
+class TestEquivalentRadius:
+    def test_cube_close_to_sphere(self):
+        # A cube of side a has surface 6a^2 -> r = a*sqrt(6/(4pi)) ~ 0.69a.
+        r = equivalent_radius(0.01, 0.01, 0.01)
+        assert r == pytest.approx(0.01 * math.sqrt(6.0 / (4.0 * math.pi)), rel=1e-9)
+
+    def test_monotone_in_size(self):
+        assert equivalent_radius(0.02, 0.01, 0.01) > equivalent_radius(
+            0.01, 0.01, 0.01
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            equivalent_radius(0.0, 0.01, 0.01)

@@ -1,0 +1,130 @@
+"""Unit tests for loop/mutual inductance aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Transform3D, Vec3
+from repro.peec import (
+    MU0,
+    coupling_factor,
+    loop_self_inductance,
+    mutual_inductance_paths,
+    mutual_inductance_paths_fast,
+    partial_inductance_matrix,
+    rectangle_path,
+    ring_path,
+)
+
+
+class TestLoopSelfInductance:
+    def test_circular_loop_textbook(self):
+        # L = mu0 R (ln(8R/a) - 2) for a thin circular loop of wire radius a.
+        radius, wire_a = 0.01, 0.0004
+        ring = ring_path(Vec3.zero(), radius, segments=24, wire_diameter=2 * wire_a)
+        theory = MU0 * radius * (math.log(8 * radius / wire_a) - 2.0)
+        assert loop_self_inductance(ring) == pytest.approx(theory, rel=0.15)
+
+    def test_turns_scale_quadratically(self):
+        one = loop_self_inductance(ring_path(Vec3.zero(), 0.01, weight=1.0))
+        three = loop_self_inductance(ring_path(Vec3.zero(), 0.01, weight=3.0))
+        assert three == pytest.approx(9.0 * one, rel=1e-6)
+
+    def test_bigger_loop_bigger_l(self):
+        small = loop_self_inductance(ring_path(Vec3.zero(), 0.005))
+        big = loop_self_inductance(ring_path(Vec3.zero(), 0.02))
+        assert big > small
+
+    def test_rectangle_loop_positive(self):
+        p = rectangle_path(Vec3(-0.0075, 0, 0), Vec3(0.0075, 0, 0.01), normal="y")
+        assert loop_self_inductance(p) > 0.0
+
+
+class TestMutualInductance:
+    def test_coaxial_rings_against_dipole_limit(self):
+        # Far coaxial loops: M -> mu0 pi a^2 b^2 / (2 d^3).
+        a = b = 0.005
+        d = 0.05
+        r1 = ring_path(Vec3.zero(), a, segments=24)
+        r2 = ring_path(Vec3(0, 0, d), b, segments=24)
+        theory = MU0 * math.pi * a**2 * b**2 / (2 * d**3)
+        assert mutual_inductance_paths(r1, r2) == pytest.approx(theory, rel=0.05)
+
+    def test_reciprocity(self):
+        r1 = ring_path(Vec3.zero(), 0.006, segments=12, axis="x")
+        r2 = ring_path(Vec3(0.02, 0.01, 0.002), 0.004, segments=12, axis="y")
+        assert mutual_inductance_paths(r1, r2) == pytest.approx(
+            mutual_inductance_paths(r2, r1), rel=1e-9
+        )
+
+    def test_fast_matches_slow(self):
+        r1 = ring_path(Vec3.zero(), 0.006, segments=12, axis="x")
+        r2 = ring_path(Vec3(0.025, 0.005, 0.003), 0.005, segments=12, axis="x")
+        slow = mutual_inductance_paths(r1, r2)
+        fast = mutual_inductance_paths_fast(r1, r2)
+        assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_fast_respects_weights(self):
+        r1 = ring_path(Vec3.zero(), 0.006, weight=2.0)
+        r2 = ring_path(Vec3(0, 0, 0.02), 0.006, weight=3.0)
+        r1u = ring_path(Vec3.zero(), 0.006)
+        r2u = ring_path(Vec3(0, 0, 0.02), 0.006)
+        assert mutual_inductance_paths_fast(r1, r2) == pytest.approx(
+            6.0 * mutual_inductance_paths_fast(r1u, r2u), rel=1e-9
+        )
+
+    def test_rigid_motion_invariance(self):
+        r1 = ring_path(Vec3.zero(), 0.006, axis="x")
+        r2 = ring_path(Vec3(0.03, 0.0, 0.0), 0.006, axis="x")
+        m0 = mutual_inductance_paths_fast(r1, r2)
+        t = Transform3D(Vec3(0.01, -0.02, 0.004), rotation_z_rad=0.9)
+        m1 = mutual_inductance_paths_fast(r1.transformed(t), r2.transformed(t))
+        assert m1 == pytest.approx(m0, rel=1e-9)
+
+
+class TestCouplingFactor:
+    def test_bounds(self):
+        r1 = ring_path(Vec3.zero(), 0.006)
+        r2 = ring_path(Vec3(0, 0, 0.008), 0.006)
+        k = coupling_factor(r1, r2)
+        assert -1.0 <= k <= 1.0
+
+    def test_decreases_with_distance(self):
+        r1 = ring_path(Vec3.zero(), 0.006)
+        ks = []
+        for d in (0.01, 0.02, 0.04):
+            r2 = ring_path(Vec3(0, 0, d), 0.006)
+            ks.append(abs(coupling_factor(r1, r2)))
+        assert ks[0] > ks[1] > ks[2]
+
+    def test_precomputed_self_l_matches(self):
+        r1 = ring_path(Vec3.zero(), 0.006)
+        r2 = ring_path(Vec3(0, 0, 0.02), 0.006)
+        la = loop_self_inductance(r1)
+        lb = loop_self_inductance(r2)
+        assert coupling_factor(r1, r2, la, lb) == pytest.approx(
+            coupling_factor(r1, r2), rel=1e-12
+        )
+
+    def test_flip_one_ring_flips_sign(self):
+        r1 = ring_path(Vec3.zero(), 0.006)
+        r2 = ring_path(Vec3(0, 0, 0.02), 0.006)
+        r2_flipped = r2.scaled_weights(-1.0)
+        assert coupling_factor(r1, r2_flipped) == pytest.approx(
+            -coupling_factor(r1, r2), rel=1e-9
+        )
+
+
+class TestPartialMatrix:
+    def test_symmetric_positive_diagonal(self):
+        ring = ring_path(Vec3.zero(), 0.008, segments=8)
+        m = partial_inductance_matrix(ring.filaments)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) > 0.0)
+
+    def test_consistent_with_loop_inductance(self):
+        ring = ring_path(Vec3.zero(), 0.008, segments=8)
+        m = partial_inductance_matrix(ring.filaments)
+        w = np.array([f.weight for f in ring.filaments])
+        assert float(w @ m @ w) == pytest.approx(loop_self_inductance(ring), rel=1e-9)

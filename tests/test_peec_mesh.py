@@ -1,0 +1,114 @@
+"""Unit tests for current paths (segmented component field models)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Transform3D, Vec3
+from repro.peec import CurrentPath, Filament, rectangle_path, ring_path
+
+
+class TestRingPath:
+    def test_segment_count(self):
+        ring = ring_path(Vec3.zero(), 0.01, segments=16)
+        assert len(ring) == 16
+
+    def test_closed(self):
+        ring = ring_path(Vec3.zero(), 0.01, segments=12)
+        assert ring.closure_error() == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_length_approximates_circumference(self):
+        r = 0.01
+        ring = ring_path(Vec3.zero(), r, segments=64)
+        assert ring.total_length() == pytest.approx(2 * math.pi * r, rel=0.01)
+
+    def test_magnetic_moment_z_ring(self):
+        r = 0.01
+        ring = ring_path(Vec3.zero(), r, segments=64)
+        moment = ring.magnetic_moment()
+        # |m| = area for a unit current loop.
+        assert moment.z == pytest.approx(math.pi * r * r, rel=0.01)
+        assert abs(moment.x) < 1e-12 and abs(moment.y) < 1e-12
+
+    def test_axis_variants(self):
+        assert ring_path(Vec3.zero(), 0.01, axis="x").magnetic_axis().is_close(
+            Vec3(1, 0, 0), tol=1e-9
+        )
+        assert ring_path(Vec3.zero(), 0.01, axis="y").magnetic_axis().is_close(
+            Vec3(0, 1, 0), tol=1e-9
+        )
+
+    def test_moment_scales_with_weight(self):
+        one = ring_path(Vec3.zero(), 0.01, weight=1.0).magnetic_moment()
+        five = ring_path(Vec3.zero(), 0.01, weight=5.0).magnetic_moment()
+        assert five.z == pytest.approx(5.0 * one.z)
+
+    def test_moment_translation_invariant_for_closed_loop(self):
+        a = ring_path(Vec3.zero(), 0.01, segments=12).magnetic_moment()
+        b = ring_path(Vec3(0.05, 0.02, 0.01), 0.01, segments=12).magnetic_moment()
+        assert a.is_close(b, tol=1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ring_path(Vec3.zero(), 0.01, segments=2)
+        with pytest.raises(ValueError):
+            ring_path(Vec3.zero(), -0.01)
+        with pytest.raises(ValueError):
+            ring_path(Vec3.zero(), 0.01, axis="w")
+
+
+class TestRectanglePath:
+    def test_four_filaments_closed(self):
+        p = rectangle_path(Vec3(-0.005, 0, 0), Vec3(0.005, 0, 0.004))
+        assert len(p) == 4
+        assert p.closure_error() == pytest.approx(0.0, abs=1e-12)
+
+    def test_axis_is_normal(self):
+        p = rectangle_path(Vec3(-0.005, 0, 0), Vec3(0.005, 0, 0.004), normal="y")
+        axis = p.magnetic_axis()
+        assert abs(axis.y) == pytest.approx(1.0)
+
+    def test_moment_magnitude_is_area(self):
+        p = rectangle_path(Vec3(-0.005, 0, 0), Vec3(0.005, 0, 0.004), normal="y")
+        assert p.magnetic_moment().norm() == pytest.approx(0.01 * 0.004, rel=1e-9)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            rectangle_path(Vec3(0, 0, 0), Vec3(0, 0, 0.004), normal="y")
+
+    def test_bad_normal_rejected(self):
+        with pytest.raises(ValueError):
+            rectangle_path(Vec3(0, 0, 0), Vec3(1, 0, 1), normal="q")
+
+
+class TestCurrentPath:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentPath([])
+
+    def test_transform_moves_centroid(self):
+        ring = ring_path(Vec3.zero(), 0.01)
+        moved = ring.transformed(Transform3D(Vec3(0.02, 0.0, 0.001)))
+        assert moved.centroid().is_close(Vec3(0.02, 0.0, 0.001), tol=1e-9)
+
+    def test_transform_rotates_axis(self):
+        path = ring_path(Vec3.zero(), 0.01, axis="x")
+        rotated = path.transformed(Transform3D(Vec3.zero(), rotation_z_rad=math.pi / 2))
+        assert rotated.magnetic_axis().is_close(Vec3(0, 1, 0), tol=1e-9)
+
+    def test_merged(self):
+        a = ring_path(Vec3.zero(), 0.01, segments=8)
+        b = ring_path(Vec3(0.0, 0.0, 0.005), 0.01, segments=8)
+        merged = a.merged_with(b)
+        assert len(merged) == 16
+
+    def test_scaled_weights(self):
+        ring = ring_path(Vec3.zero(), 0.01)
+        scaled = ring.scaled_weights(2.0)
+        assert scaled.magnetic_moment().z == pytest.approx(
+            2.0 * ring.magnetic_moment().z
+        )
+
+    def test_straight_trace_axis_falls_back_to_z(self):
+        trace = CurrentPath([Filament(Vec3(0, 0, 0), Vec3(0.02, 0, 0))])
+        assert trace.magnetic_axis().is_close(Vec3(0, 0, 1))

@@ -1,0 +1,42 @@
+"""Unit tests for the EMI-unaware baseline placer."""
+
+from repro.placement import BaselinePlacer, DesignRuleChecker, placement_area
+
+from conftest import build_small_problem
+
+
+class TestBaseline:
+    def test_places_everything(self):
+        problem = build_small_problem()
+        report = BaselinePlacer(problem).run()
+        assert report.placed_count == 7
+
+    def test_body_rules_respected(self):
+        problem = build_small_problem()
+        BaselinePlacer(problem).run()
+        checker = DesignRuleChecker(problem)
+        assert not checker.check_body_spacing()
+        assert not checker.check_keepin()
+        assert not checker.check_keepouts()
+
+    def test_emi_rules_typically_violated(self):
+        # The whole point of Fig. 1: a compact EMI-blind layout violates
+        # the coupling-derived min distances.
+        problem = build_small_problem()
+        BaselinePlacer(problem).run()
+        violations = DesignRuleChecker(problem).check_min_distances()
+        assert violations
+
+    def test_more_compact_than_emi_aware(self):
+        from repro.placement import AutoPlacer
+
+        baseline_problem = build_small_problem()
+        BaselinePlacer(baseline_problem).run()
+        aware_problem = build_small_problem()
+        AutoPlacer(aware_problem).run()
+        assert placement_area(baseline_problem) <= placement_area(aware_problem)
+
+    def test_no_rotation_plan(self):
+        problem = build_small_problem()
+        report = BaselinePlacer(problem).run()
+        assert report.rotation_plan is None

@@ -1,0 +1,185 @@
+"""Unit tests for the design-rule checker."""
+
+import pytest
+
+from repro.components import FilmCapacitorX2
+from repro.geometry import Cuboid, Placement2D, Polygon2D, Rect
+from repro.placement import (
+    Board,
+    DesignRuleChecker,
+    Keepout3D,
+    PlacedComponent,
+    PlacementProblem,
+)
+from repro.rules import GroupCoherenceRule, MinDistanceRule, NetLengthRule, RuleSet
+
+from conftest import build_small_problem
+
+
+def spread_layout(problem):
+    positions = {
+        "C1": (0.012, 0.012),
+        "C2": (0.068, 0.012),
+        "C3": (0.068, 0.048),
+        "L1": (0.012, 0.048),
+        "L2": (0.040, 0.048),
+        "Q1": (0.040, 0.012),
+        "D1": (0.040, 0.030),
+    }
+    for ref, (x, y) in positions.items():
+        problem.components[ref].placement = Placement2D.at(x, y)
+
+
+class TestBodySpacing:
+    def test_overlap_detected(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        problem.components["C2"].placement = Placement2D.at(0.025, 0.02)
+        violations = DesignRuleChecker(problem).check_body_spacing()
+        assert any(v.kind == "overlap" for v in violations)
+
+    def test_clearance_detected(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        # 18 mm wide: edges at 29 and 29.3 -> gap 0.3 mm < 0.5 mm clearance.
+        problem.components["C2"].placement = Placement2D.at(0.0383, 0.02)
+        violations = DesignRuleChecker(problem).check_body_spacing()
+        kinds = {v.kind for v in violations}
+        assert "clearance" in kinds and "overlap" not in kinds
+
+    def test_spaced_parts_clean(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        assert DesignRuleChecker(problem).check_body_spacing() == []
+
+    def test_only_filter(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        problem.components["C2"].placement = Placement2D.at(0.025, 0.02)
+        problem.components["C3"].placement = Placement2D.at(0.025, 0.04)
+        violations = DesignRuleChecker(problem).check_body_spacing(only="C3")
+        assert all("C3" in v.refs for v in violations)
+
+
+class TestMinDistance:
+    def test_violation_reports_emd(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.components["C2"].placement = Placement2D.at(0.018, 0.012)
+        violations = DesignRuleChecker(problem).check_min_distances()
+        md = [v for v in violations if set(v.refs) == {"C1", "C2"}]
+        assert len(md) == 1
+        assert md[0].required > md[0].actual
+        assert md[0].deficit > 0.0
+
+    def test_rotation_can_cure_violation(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.components["C2"].placement = Placement2D.at(0.030, 0.012)
+        checker = DesignRuleChecker(problem)
+        assert checker.check_min_distances(only="C2")
+        problem.components["C2"].placement = Placement2D.at(0.030, 0.012, 90)
+        assert not checker.check_min_distances(only="C2")
+
+    def test_unplaced_pairs_skipped(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        assert DesignRuleChecker(problem).check_min_distances() == []
+
+    def test_markers_red_green(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.components["C2"].placement = Placement2D.at(0.016, 0.012)
+        markers = DesignRuleChecker(problem).rule_markers()
+        assert len(markers) == len(problem.rules.min_distance)
+        bad = [m for m in markers if not m.satisfied]
+        assert bad and all(m.color == "red" for m in bad)
+        good = [m for m in markers if m.satisfied]
+        assert good and all(m.color == "green" for m in good)
+
+
+class TestKeepinKeepout:
+    def test_outside_board_detected(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.components["C1"].placement = Placement2D.at(0.075, 0.012)
+        violations = DesignRuleChecker(problem).check_keepin()
+        assert any(v.kind == "keepin" and v.refs == ("C1",) for v in violations)
+
+    def test_keepout_z_offset(self):
+        board = Board(
+            0,
+            Polygon2D.rectangle(0, 0, 0.08, 0.06),
+            keepouts=[
+                Keepout3D("hs", Cuboid(Rect(0.0, 0.0, 0.04, 0.06), 20e-3, 40e-3))
+            ],
+        )
+        problem = PlacementProblem([board])
+        # X2 cap is 15 mm tall: passes under the 20 mm overhang.
+        problem.add_component(PlacedComponent("C1", FilmCapacitorX2()))
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.03)
+        assert DesignRuleChecker(problem).check_keepouts() == []
+        # Raise the part on a 10 mm standoff: now it intrudes.
+        problem.components["C1"].placement = Placement2D(
+            problem.components["C1"].placement.position, 0.0, z_offset=10e-3
+        )
+        assert DesignRuleChecker(problem).check_keepouts()
+
+    def test_allowed_area_restriction(self):
+        from repro.placement import PlacementArea
+
+        board = Board(0, Polygon2D.rectangle(0, 0, 0.08, 0.06))
+        board.areas.append(
+            PlacementArea("left", Polygon2D.rectangle(0, 0, 0.04, 0.06))
+        )
+        board.areas.append(
+            PlacementArea("right", Polygon2D.rectangle(0.04, 0, 0.08, 0.06))
+        )
+        problem = PlacementProblem([board])
+        problem.add_component(
+            PlacedComponent("C1", FilmCapacitorX2(), allowed_areas=("left",))
+        )
+        problem.components["C1"].placement = Placement2D.at(0.06, 0.03)
+        assert DesignRuleChecker(problem).check_keepin()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.03)
+        assert not DesignRuleChecker(problem).check_keepin()
+
+
+class TestGroupsAndNets:
+    def test_group_spread_violation(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.define_group("g", ["C1", "C3"])
+        problem.rules.groups.append(
+            GroupCoherenceRule(group="g", members=("C1", "C3"), max_spread=0.03)
+        )
+        violations = DesignRuleChecker(problem).check_groups()
+        assert any(v.kind == "group" for v in violations)
+
+    def test_net_length_violation(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        problem.rules.net_lengths.append(NetLengthRule(net="N1", max_length=1e-3))
+        violations = DesignRuleChecker(problem).check_net_lengths()
+        assert any(v.kind == "net_length" for v in violations)
+
+    def test_check_all_aggregates(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        checker = DesignRuleChecker(problem)
+        assert len(checker.check_all()) == (
+            len(checker.check_body_spacing())
+            + len(checker.check_min_distances())
+            + len(checker.check_keepin())
+            + len(checker.check_keepouts())
+            + len(checker.check_groups())
+            + len(checker.check_net_lengths())
+        )
+
+    def test_is_legal(self):
+        problem = build_small_problem()
+        spread_layout(problem)
+        checker = DesignRuleChecker(problem)
+        # The spread layout satisfies spacing and keepin; min distances may
+        # or may not hold — consistency check only.
+        assert checker.is_legal() == (not checker.check_all())

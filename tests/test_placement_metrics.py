@@ -1,0 +1,136 @@
+"""Unit tests for placement metrics."""
+
+import math
+
+import pytest
+
+from repro.geometry import Placement2D, Vec2
+from repro.placement import (
+    emd_slack_sum,
+    group_centroid,
+    group_spread,
+    net_hpwl,
+    placement_area,
+    placement_bbox,
+    total_wirelength,
+)
+from repro.placement.metrics import worst_emd_margin
+
+from conftest import build_small_problem
+
+
+def place_all_in_row(problem, pitch=0.02):
+    for i, comp in enumerate(problem.components.values()):
+        comp.placement = Placement2D.at(0.01 + i * pitch, 0.02)
+
+
+class TestWirelength:
+    def test_unplaced_nets_zero(self):
+        problem = build_small_problem()
+        assert total_wirelength(problem) == 0.0
+
+    def test_hpwl_two_pin(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.01, 0.01)
+        problem.components["L1"].placement = Placement2D.at(0.04, 0.03)
+        net = problem.nets[0]  # N1: C1.1 - L1.1
+        length = net_hpwl(problem, net)
+        # HPWL uses pad positions; it must be at least the centre HPWL minus
+        # pad offsets and positive.
+        assert length > 0.0
+        assert length == pytest.approx(0.03 + 0.02, abs=0.02)
+
+    def test_partial_net_skips_unplaced(self):
+        problem = build_small_problem()
+        problem.components["L1"].placement = Placement2D.at(0.04, 0.03)
+        net = problem.nets[1]  # N2 touches L1, C2, Q1
+        assert net_hpwl(problem, net) == 0.0  # single placed pin
+        problem.components["C2"].placement = Placement2D.at(0.02, 0.03)
+        assert net_hpwl(problem, net) > 0.0
+
+    def test_total_is_sum(self):
+        problem = build_small_problem()
+        place_all_in_row(problem)
+        assert total_wirelength(problem) == pytest.approx(
+            sum(net_hpwl(problem, n) for n in problem.nets)
+        )
+
+
+class TestAreaMetrics:
+    def test_empty_bbox_none(self):
+        problem = build_small_problem()
+        assert placement_bbox(problem) is None
+        assert placement_area(problem) == 0.0
+
+    def test_bbox_covers_all(self):
+        problem = build_small_problem()
+        place_all_in_row(problem)
+        box = placement_bbox(problem)
+        assert box is not None
+        for comp in problem.placed():
+            r = comp.footprint_aabb()
+            assert box.xmin <= r.xmin and box.xmax >= r.xmax
+
+    def test_area_grows_with_spread(self):
+        problem = build_small_problem()
+        place_all_in_row(problem, pitch=0.02)
+        tight = placement_area(problem)
+        place_all_in_row(problem, pitch=0.06)
+        loose = placement_area(problem)
+        assert loose > tight
+
+
+class TestGroupMetrics:
+    def test_centroid_and_spread(self):
+        problem = build_small_problem()
+        problem.define_group("g", ["C1", "C2"])
+        problem.components["C1"].placement = Placement2D.at(0.00, 0.00)
+        problem.components["C2"].placement = Placement2D.at(0.03, 0.04)
+        c = group_centroid(problem, "g")
+        assert c is not None and c.is_close(Vec2(0.015, 0.02))
+        assert group_spread(problem, "g") == pytest.approx(0.05)
+
+    def test_unplaced_group(self):
+        problem = build_small_problem()
+        problem.define_group("g", ["C1", "C2"])
+        assert group_centroid(problem, "g") is None
+        assert group_spread(problem, "g") == 0.0
+
+
+class TestEmdMetrics:
+    def test_clean_layout_zero_slack(self):
+        problem = build_small_problem()
+        # Spread far beyond every PEMD.
+        positions = [(0.01, 0.01), (0.07, 0.01), (0.01, 0.05), (0.07, 0.05),
+                     (0.04, 0.03), (0.01, 0.03), (0.07, 0.03)]
+        for (x, y), comp in zip(positions, problem.components.values()):
+            comp.placement = Placement2D.at(x, y)
+        # All PEMDs are <= 35 mm and the layout spreads up to 60 mm; slack
+        # may not be exactly zero for every pair, so check consistency:
+        slack = emd_slack_sum(problem)
+        margin = worst_emd_margin(problem)
+        assert slack >= 0.0
+        assert (slack == 0.0) == (margin >= 0.0)
+
+    def test_coincident_pair_maximum_slack(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        problem.components["C2"].placement = Placement2D.at(0.021, 0.02)
+        slack = emd_slack_sum(problem)
+        assert slack > 0.02  # nearly the full 25 mm PEMD missing
+
+    def test_rotation_reduces_slack(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        problem.components["C2"].placement = Placement2D.at(0.035, 0.02)
+        parallel = emd_slack_sum(problem)
+        problem.components["C2"].placement = Placement2D.at(0.035, 0.02, 90)
+        rotated = emd_slack_sum(problem)
+        assert rotated < parallel
+
+    def test_cross_board_pairs_ignored(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.02, 0.02)
+        problem.components["C2"].placement = Placement2D.at(0.021, 0.02)
+        problem.components["C2"].board = 1
+        assert emd_slack_sum(problem) == 0.0

@@ -1,0 +1,163 @@
+"""Unit tests for the placement data model."""
+
+import pytest
+
+from repro.components import FilmCapacitorX2
+from repro.geometry import Cuboid, Placement2D, Polygon2D, Rect, Vec2
+from repro.placement import (
+    Board,
+    Keepout3D,
+    PlacedComponent,
+    PlacementArea,
+    PlacementProblem,
+)
+
+from conftest import build_small_problem
+
+
+class TestBoard:
+    def test_area_lookup(self):
+        outline = Polygon2D.rectangle(0, 0, 0.1, 0.1)
+        area = PlacementArea("main", Polygon2D.rectangle(0.01, 0.01, 0.09, 0.09))
+        board = Board(0, outline, areas=[area])
+        assert board.area_by_name("main") is area
+        with pytest.raises(KeyError):
+            board.area_by_name("other")
+
+    def test_default_area_is_outline(self):
+        board = Board(0, Polygon2D.rectangle(0, 0, 0.1, 0.1))
+        assert board.default_area().polygon.area() == pytest.approx(0.01)
+
+    def test_three_boards_rejected(self):
+        b = Board(0, Polygon2D.rectangle(0, 0, 0.1, 0.1))
+        with pytest.raises(ValueError):
+            PlacementProblem([b, b, b])
+
+
+class TestPlacedComponent:
+    def component(self) -> PlacedComponent:
+        return PlacedComponent("C1", FilmCapacitorX2())
+
+    def test_unplaced_accessors_raise(self):
+        c = self.component()
+        assert not c.is_placed
+        with pytest.raises(ValueError):
+            c.footprint_aabb()
+        with pytest.raises(ValueError):
+            c.center()
+
+    def test_empty_refdes_rejected(self):
+        with pytest.raises(ValueError):
+            PlacedComponent("", FilmCapacitorX2())
+
+    def test_footprint_rotates(self):
+        c = self.component()
+        c.placement = Placement2D.at(0.05, 0.05, 90)
+        box = c.footprint_aabb()
+        # 18x8 footprint rotated 90: AABB is 8 wide, 18 tall.
+        assert box.width == pytest.approx(8e-3)
+        assert box.height == pytest.approx(18e-3)
+
+    def test_body_cuboid_height(self):
+        c = self.component()
+        c.placement = Placement2D.at(0.05, 0.05)
+        body = c.body_cuboid()
+        assert body.zmin == 0.0
+        assert body.zmax == pytest.approx(c.component.body_height)
+
+    def test_rotation_override(self):
+        c = PlacedComponent("C1", FilmCapacitorX2(), allowed_rotations_deg=(0.0, 180.0))
+        assert c.rotations() == (0.0, 180.0)
+        d = self.component()
+        assert d.rotations() == d.component.allowed_rotations_deg
+
+
+class TestProblem:
+    def test_duplicate_refdes_rejected(self):
+        problem = build_small_problem()
+        with pytest.raises(ValueError):
+            problem.add_component(PlacedComponent("C1", FilmCapacitorX2()))
+
+    def test_net_unknown_refdes_rejected(self):
+        problem = build_small_problem()
+        with pytest.raises(KeyError):
+            problem.add_net("BAD", [("NOPE", "1")])
+
+    def test_group_tags_members(self):
+        problem = build_small_problem()
+        problem.define_group("flt", ["C1", "L1"])
+        assert problem.components["C1"].group == "flt"
+        assert len(problem.group_members("flt")) == 2
+        with pytest.raises(KeyError):
+            problem.group_members("ghost")
+
+    def test_placed_unplaced_partition(self):
+        problem = build_small_problem()
+        assert len(problem.unplaced()) == 7
+        problem.components["C1"].placement = Placement2D.at(0.01, 0.01)
+        assert len(problem.placed()) == 1
+        assert len(problem.unplaced()) == 6
+
+    def test_nets_touching(self):
+        problem = build_small_problem()
+        nets = problem.nets_touching("L1")
+        assert {n.name for n in nets} == {"N1", "N2"}
+
+    def test_pair_count(self):
+        assert build_small_problem().pair_count() == 21
+
+    def test_state_snapshot_roundtrip(self):
+        problem = build_small_problem()
+        problem.components["C1"].placement = Placement2D.at(0.01, 0.01)
+        saved = problem.clone_state()
+        problem.components["C1"].placement = Placement2D.at(0.05, 0.05)
+        problem.restore_state(saved)
+        assert problem.components["C1"].center().is_close(Vec2(0.01, 0.01))
+
+    def test_board_lookup(self):
+        problem = build_small_problem()
+        assert problem.board(0).index == 0
+        with pytest.raises(KeyError):
+            problem.board(7)
+
+
+class TestKeepout:
+    def test_keepout_fields(self):
+        keepout = Keepout3D("hs", Cuboid(Rect(0, 0, 0.02, 0.02), 0.0, 0.01))
+        assert keepout.cuboid.height == pytest.approx(0.01)
+
+
+class TestPreferredRotation:
+    def test_preferred_listed_first(self):
+        from repro.components import FilmCapacitorX2
+
+        comp = PlacedComponent("C1", FilmCapacitorX2(), preferred_rotation_deg=180.0)
+        assert comp.rotations()[0] == 180.0
+        assert set(comp.rotations()) == {0.0, 90.0, 180.0, 270.0}
+
+    def test_preferred_outside_allowed_ignored(self):
+        from repro.components import FilmCapacitorX2
+
+        comp = PlacedComponent(
+            "C1",
+            FilmCapacitorX2(),
+            allowed_rotations_deg=(0.0, 90.0),
+            preferred_rotation_deg=45.0,
+        )
+        assert comp.rotations() == (0.0, 90.0)
+
+    def test_placer_honours_preference_without_rules(self):
+        problem = build_small_problem(with_rules=False)
+        problem.components["Q1"].preferred_rotation_deg = 90.0
+        from repro.placement import AutoPlacer
+
+        AutoPlacer(problem).run()
+        assert problem.components["Q1"].placement.rotation_deg == 90.0
+
+    def test_ascii_roundtrip_preserves_preference(self):
+        from repro.io import read_problem, write_problem
+
+        problem = build_small_problem()
+        problem.components["C1"].preferred_rotation_deg = 180.0
+        again = read_problem(write_problem(problem))
+        assert again.components["C1"].preferred_rotation_deg == 180.0

@@ -1,0 +1,70 @@
+"""Unit tests for two-board partitioning."""
+
+import pytest
+
+from repro.components import FilmCapacitorX2, small_bobbin_choke
+from repro.geometry import Placement2D, Polygon2D
+from repro.placement import Board, PlacedComponent, PlacementProblem, Partitioner
+
+
+def two_board_problem(n_parts: int = 8) -> PlacementProblem:
+    boards = [
+        Board(0, Polygon2D.rectangle(0, 0, 0.06, 0.05)),
+        Board(1, Polygon2D.rectangle(0, 0, 0.06, 0.05)),
+    ]
+    problem = PlacementProblem(boards)
+    for i in range(n_parts):
+        cls = FilmCapacitorX2 if i % 2 == 0 else small_bobbin_choke
+        problem.add_component(PlacedComponent(f"U{i}", cls()))
+    return problem
+
+
+class TestPartitioner:
+    def test_needs_two_boards(self):
+        single = PlacementProblem([Board(0, Polygon2D.rectangle(0, 0, 0.1, 0.1))])
+        with pytest.raises(ValueError):
+            Partitioner(single)
+
+    def test_assigns_every_component(self):
+        problem = two_board_problem()
+        result = Partitioner(problem).run()
+        assert set(result.assignment) == set(problem.components)
+        assert set(result.assignment.values()) <= {0, 1}
+        for ref, board in result.assignment.items():
+            assert problem.components[ref].board == board
+
+    def test_area_balance(self):
+        problem = two_board_problem(10)
+        result = Partitioner(problem, balance_tolerance=0.3).run()
+        assert result.area_balance <= 0.3 + 1e-9
+
+    def test_clustered_nets_reduce_cut(self):
+        problem = two_board_problem(8)
+        # Two 4-cliques of nets: the min cut is 1 (the bridge net).
+        for i in range(3):
+            problem.add_net(f"A{i}", [(f"U{i}", "1"), (f"U{i + 1}", "1")])
+        for i in range(4, 7):
+            problem.add_net(f"B{i}", [(f"U{i}", "1"), (f"U{i + 1}", "1")])
+        problem.add_net("BRIDGE", [("U3", "1"), ("U4", "1")])
+        result = Partitioner(problem).run()
+        assert result.cut_nets <= 2
+
+    def test_group_atomicity(self):
+        problem = two_board_problem(8)
+        problem.define_group("g", ["U0", "U1", "U2"])
+        result = Partitioner(problem).run()
+        sides = {result.assignment[r] for r in ("U0", "U1", "U2")}
+        assert len(sides) == 1
+
+    def test_fixed_component_pins_unit(self):
+        problem = two_board_problem(6)
+        problem.components["U0"].board = 1
+        problem.components["U0"].fixed = True
+        problem.components["U0"].placement = Placement2D.at(0.01, 0.01)
+        result = Partitioner(problem).run()
+        assert result.assignment["U0"] == 1
+
+    def test_invalid_tolerance(self):
+        problem = two_board_problem()
+        with pytest.raises(ValueError):
+            Partitioner(problem, balance_tolerance=0.0)

@@ -1,0 +1,63 @@
+"""Unit tests for rip-up-and-replace wirelength refinement."""
+
+import pytest
+
+from repro.placement import (
+    AutoPlacer,
+    DesignRuleChecker,
+    refine_wirelength,
+    total_wirelength,
+)
+
+from conftest import build_small_problem
+
+
+def placed_problem():
+    problem = build_small_problem()
+    AutoPlacer(problem).run()
+    return problem
+
+
+class TestRefinement:
+    def test_never_worse(self):
+        problem = placed_problem()
+        result = refine_wirelength(problem)
+        assert result.wirelength_after <= result.wirelength_before + 1e-12
+        assert result.improvement >= 0.0
+
+    def test_typically_improves_greedy_result(self):
+        problem = placed_problem()
+        result = refine_wirelength(problem)
+        # The greedy sequential pass leaves slack on this fixture.
+        assert result.improved_components >= 1
+        assert result.wirelength_after < result.wirelength_before
+
+    def test_legality_preserved(self):
+        problem = placed_problem()
+        refine_wirelength(problem)
+        assert DesignRuleChecker(problem).is_legal()
+
+    def test_result_matches_problem_state(self):
+        problem = placed_problem()
+        result = refine_wirelength(problem)
+        assert result.wirelength_after == pytest.approx(total_wirelength(problem))
+
+    def test_fixed_components_untouched(self):
+        problem = placed_problem()
+        anchor = problem.components["C1"]
+        anchor.fixed = True
+        before = anchor.placement
+        refine_wirelength(problem)
+        assert anchor.placement == before
+
+    def test_converges_to_fixed_point(self):
+        problem = placed_problem()
+        refine_wirelength(problem, max_passes=5)
+        second = refine_wirelength(problem, max_passes=5)
+        assert second.improved_components == 0
+        assert second.passes == 1
+
+    def test_pass_bound(self):
+        problem = placed_problem()
+        result = refine_wirelength(problem, max_passes=1)
+        assert result.passes == 1

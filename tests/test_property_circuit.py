@@ -1,0 +1,106 @@
+"""Property-based tests for the circuit simulator (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, MnaSystem, TrapezoidSource
+
+resistance = st.floats(min_value=0.1, max_value=1e5, allow_nan=False)
+capacitance = st.floats(min_value=1e-12, max_value=1e-4, allow_nan=False)
+inductance = st.floats(min_value=1e-9, max_value=1e-2, allow_nan=False)
+frequency = st.floats(min_value=1e2, max_value=1e8, allow_nan=False)
+kfactor = st.floats(min_value=-0.95, max_value=0.95, allow_nan=False)
+
+
+class TestMnaProperties:
+    @settings(max_examples=40)
+    @given(resistance, resistance, frequency)
+    def test_divider_bounded_by_source(self, r1, r2, f):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", ac=1.0)
+        c.add_resistor("R1", "in", "mid", r1)
+        c.add_resistor("R2", "mid", "0", r2)
+        sol = MnaSystem(c).solve_ac(f)
+        v = abs(sol.voltage("mid"))
+        assert 0.0 <= v <= 1.0 + 1e-9
+        assert math.isclose(v, r2 / (r1 + r2), rel_tol=1e-9)
+
+    @settings(max_examples=40)
+    @given(resistance, capacitance, frequency)
+    def test_rc_passivity(self, r, cap, f):
+        c = Circuit()
+        c.add_vsource("V1", "in", "0", ac=1.0)
+        c.add_resistor("R1", "in", "out", r)
+        c.add_capacitor("C1", "out", "0", cap)
+        sol = MnaSystem(c).solve_ac(f)
+        assert abs(sol.voltage("out")) <= 1.0 + 1e-9
+
+    @settings(max_examples=40)
+    @given(inductance, inductance, kfactor, frequency)
+    def test_transformer_passivity(self, l1, l2, k, f):
+        c = Circuit()
+        c.add_vsource("V1", "p", "0", ac=1.0)
+        c.add_resistor("Rs", "p", "a", 1.0)
+        c.add_inductor("L1", "a", "0", l1)
+        c.add_inductor("L2", "s", "0", l2)
+        c.add_resistor("RL", "s", "0", 50.0)
+        c.add_coupling("K1", "L1", "L2", k)
+        sol = MnaSystem(c).solve_ac(f)
+        # Output power cannot exceed what the source can deliver into 1 ohm.
+        v_s = abs(sol.voltage("s"))
+        assert v_s <= math.sqrt(50.0 / 4.0) + 1e-6
+
+    @settings(max_examples=30)
+    @given(resistance, inductance, capacitance, frequency)
+    def test_superposition(self, r, l, cap, f):
+        def build(a1: float, a2: float) -> complex:
+            c = Circuit()
+            c.add_vsource("V1", "in", "0", ac=a1)
+            c.add_isource("I1", "0", "out", ac=a2)
+            c.add_resistor("R1", "in", "out", r)
+            c.add_inductor("L1", "out", "gl", l)
+            c.add_resistor("RG", "gl", "0", 1.0)
+            c.add_capacitor("C1", "out", "0", cap)
+            return MnaSystem(c).solve_ac(f).voltage("out")
+
+        both = build(1.0, 1e-3)
+        only_v = build(1.0, 0.0)
+        only_i = build(0.0, 1e-3)
+        assert abs(both - (only_v + only_i)) < 1e-6 * max(1.0, abs(both))
+
+
+class TestTrapezoidProperties:
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.2, max_value=0.8),
+        st.floats(min_value=1e4, max_value=1e6),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_parseval_partial(self, duty, f0, n_harmonics):
+        src = TrapezoidSource(0.0, 1.0, f0, duty=duty, t_rise=0.02 / f0, t_fall=0.02 / f0)
+        # Partial harmonic power never exceeds the waveform AC power.
+        ts = np.linspace(0.0, src.period, 4096, endpoint=False)
+        vs = np.array([src.value_at(t) for t in ts])
+        total_ac_power = float(np.mean((vs - np.mean(vs)) ** 2))
+        partial = sum(
+            abs(src.harmonic(n)) ** 2 / 2.0 for n in range(1, n_harmonics + 1)
+        )
+        assert partial <= total_ac_power * 1.02 + 1e-12
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=0.2, max_value=0.8), st.integers(min_value=1, max_value=100))
+    def test_harmonics_below_envelope(self, duty, n):
+        src = TrapezoidSource(0.0, 1.0, 1e5, duty=duty, t_rise=2e-7, t_fall=2e-7)
+        level = abs(src.harmonic(n))
+        env_db = float(src.envelope_db(np.array([n * 1e5]))[0])
+        level_db = 20 * math.log10(max(level, 1e-30))
+        assert level_db <= env_db + 0.5
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.3, max_value=0.7))
+    def test_dc_is_duty_times_amplitude(self, duty):
+        src = TrapezoidSource(0.0, 1.0, 1e5, duty=duty, t_rise=1e-7, t_fall=1e-7)
+        assert math.isclose(src.harmonic(0).real, duty, rel_tol=1e-9)

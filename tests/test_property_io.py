@@ -1,0 +1,103 @@
+"""Property-based tests for the ASCII interface (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components import (
+    BobbinChoke,
+    CeramicCapacitor,
+    FilmCapacitorX2,
+    PowerMosfet,
+)
+from repro.geometry import Placement2D, Polygon2D
+from repro.io import read_problem, write_problem
+from repro.placement import Board, PlacedComponent, PlacementProblem
+from repro.rules import MinDistanceRule, RuleSet
+
+mm = st.floats(min_value=0.005, max_value=0.09, allow_nan=False)
+rotations = st.sampled_from([0.0, 90.0, 180.0, 270.0])
+pemds = st.floats(min_value=0.001, max_value=0.05, allow_nan=False)
+residuals = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+part_factories = st.sampled_from(
+    [FilmCapacitorX2, CeramicCapacitor, BobbinChoke, PowerMosfet]
+)
+
+
+@st.composite
+def problems(draw):
+    problem = PlacementProblem([Board(0, Polygon2D.rectangle(0, 0, 0.1, 0.1))])
+    n = draw(st.integers(min_value=1, max_value=6))
+    refs = []
+    for i in range(n):
+        ref = f"U{i}"
+        refs.append(ref)
+        comp = PlacedComponent(ref, draw(part_factories)())
+        if draw(st.booleans()):
+            comp.placement = Placement2D.at(draw(mm), draw(mm), draw(rotations))
+            comp.fixed = draw(st.booleans())
+        if draw(st.booleans()):
+            comp.preferred_rotation_deg = draw(rotations)
+        problem.add_component(comp)
+    if n >= 2 and draw(st.booleans()):
+        problem.add_net("N1", [(refs[0], "1"), (refs[1], "1")])
+    rules = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                rules.append(
+                    MinDistanceRule(
+                        refs[i],
+                        refs[j],
+                        pemd=draw(pemds),
+                        residual=draw(residuals),
+                    )
+                )
+    problem.rules = RuleSet(min_distance=rules)
+    return problem
+
+
+class TestAsciiRoundtripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_structure_preserved(self, problem):
+        again = read_problem(write_problem(problem))
+        assert set(again.components) == set(problem.components)
+        assert len(again.nets) == len(problem.nets)
+        assert len(again.rules.min_distance) == len(problem.rules.min_distance)
+
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_placements_preserved(self, problem):
+        again = read_problem(write_problem(problem))
+        for ref, comp in problem.components.items():
+            twin = again.components[ref]
+            assert twin.fixed == comp.fixed
+            assert twin.is_placed == comp.is_placed
+            if comp.is_placed:
+                assert twin.placement.position.is_close(
+                    comp.placement.position, tol=1e-6
+                )
+                assert math.isclose(
+                    twin.placement.rotation_deg % 360.0,
+                    comp.placement.rotation_deg % 360.0,
+                    abs_tol=1e-6,
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(problems())
+    def test_rules_preserved(self, problem):
+        again = read_problem(write_problem(problem))
+        for rule in problem.rules.min_distance:
+            twin = again.rules.min_distance_for(rule.ref_a, rule.ref_b)
+            assert twin is not None
+            assert math.isclose(twin.pemd, rule.pemd, rel_tol=1e-4)
+            assert math.isclose(twin.residual, rule.residual, rel_tol=1e-3, abs_tol=1e-4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(problems())
+    def test_double_roundtrip_is_fixed_point(self, problem):
+        once = write_problem(problem)
+        twice = write_problem(read_problem(once))
+        assert once == twice

@@ -1,0 +1,135 @@
+"""Property-based tests for the PEEC engine (hypothesis).
+
+Physical invariants: reciprocity, rigid-motion invariance, closed-form vs
+quadrature agreement, |k| bounds, and sign antisymmetry under current
+reversal.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Transform3D, Vec3
+from repro.peec import (
+    Filament,
+    coupling_factor,
+    loop_self_inductance,
+    mutual_inductance,
+    mutual_inductance_parallel,
+    mutual_inductance_paths_fast,
+    neumann_mutual_inductance,
+    ring_path,
+    self_inductance_bar,
+)
+
+mm = st.floats(min_value=-0.05, max_value=0.05, allow_nan=False)
+length_mm = st.floats(min_value=0.002, max_value=0.03, allow_nan=False)
+angle = st.floats(min_value=0.0, max_value=2 * math.pi, allow_nan=False)
+
+
+@st.composite
+def filaments(draw):
+    start = Vec3(draw(mm), draw(mm), draw(mm))
+    direction = Vec3(draw(mm) + 0.06, draw(mm), draw(mm))  # never zero length
+    return Filament(start, start + direction)
+
+
+@st.composite
+def separated_filament_pairs(draw):
+    f1 = draw(filaments())
+    offset = Vec3(draw(mm), draw(mm) + 0.12, draw(mm))  # min ~7 cm apart
+    start = f1.end + offset
+    direction = Vec3(draw(mm), draw(mm) + 0.05, draw(mm))
+    return f1, Filament(start, start + direction)
+
+
+class TestFilamentProperties:
+    @settings(max_examples=40)
+    @given(separated_filament_pairs())
+    def test_reciprocity(self, pair):
+        f1, f2 = pair
+        assert math.isclose(
+            mutual_inductance(f1, f2), mutual_inductance(f2, f1), rel_tol=1e-6, abs_tol=1e-18
+        )
+
+    @settings(max_examples=40)
+    @given(separated_filament_pairs())
+    def test_reversal_antisymmetry(self, pair):
+        f1, f2 = pair
+        m = mutual_inductance(f1, f2)
+        m_rev = mutual_inductance(f1, f2.reversed())
+        assert math.isclose(m, -m_rev, rel_tol=1e-6, abs_tol=1e-18)
+
+    @settings(max_examples=30)
+    @given(filaments(), st.floats(min_value=0.01, max_value=0.08), length_mm)
+    def test_parallel_closed_form_matches_quadrature(self, f1, gap, l2):
+        f2 = Filament(
+            f1.start + Vec3(0.0, gap, 0.0),
+            f1.start + Vec3(0.0, gap, 0.0) + f1.direction * l2,
+        )
+        closed = mutual_inductance_parallel(f1, f2)
+        quad = neumann_mutual_inductance(f1, f2, order=20)
+        assert math.isclose(closed, quad, rel_tol=1e-4, abs_tol=1e-16)
+
+    @settings(max_examples=30)
+    @given(length_mm, st.floats(min_value=1e-4, max_value=3e-3))
+    def test_self_inductance_positive_and_monotone(self, length, width):
+        l1 = self_inductance_bar(length, width, width)
+        l2 = self_inductance_bar(length * 2, width, width)
+        assert 0.0 < l1 < l2
+
+
+class TestPathProperties:
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=0.002, max_value=0.01),
+        st.floats(min_value=0.002, max_value=0.01),
+        st.floats(min_value=0.025, max_value=0.08),
+        angle,
+    )
+    def test_coupling_factor_bounds(self, r1, r2, distance, theta):
+        a = ring_path(Vec3.zero(), r1, segments=8)
+        b = ring_path(
+            Vec3(distance * math.cos(theta), distance * math.sin(theta), 0.0),
+            r2,
+            segments=8,
+        )
+        k = coupling_factor(a, b)
+        assert -1.0 <= k <= 1.0
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=0.003, max_value=0.008),
+        st.floats(min_value=0.03, max_value=0.07),
+        mm,
+        mm,
+        angle,
+    )
+    def test_rigid_motion_invariance(self, radius, distance, dx, dy, rot):
+        a = ring_path(Vec3.zero(), radius, segments=8, axis="x")
+        b = ring_path(Vec3(distance, 0.0, 0.0), radius, segments=8, axis="x")
+        m0 = mutual_inductance_paths_fast(a, b)
+        t = Transform3D(Vec3(dx, dy, 0.01), rotation_z_rad=rot)
+        m1 = mutual_inductance_paths_fast(a.transformed(t), b.transformed(t))
+        assert math.isclose(m0, m1, rel_tol=1e-6, abs_tol=1e-18)
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.003, max_value=0.01), st.integers(min_value=6, max_value=20))
+    def test_self_inductance_positive_any_discretisation(self, radius, segments):
+        ring = ring_path(Vec3.zero(), radius, segments=segments)
+        assert loop_self_inductance(ring) > 0.0
+
+    @settings(max_examples=20)
+    @given(
+        st.floats(min_value=0.003, max_value=0.008),
+        st.floats(min_value=0.03, max_value=0.08),
+        st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_weight_bilinearity(self, radius, distance, w):
+        a = ring_path(Vec3.zero(), radius, segments=8)
+        b = ring_path(Vec3(distance, 0, 0), radius, segments=8)
+        b_weighted = b.scaled_weights(w)
+        m_unit = mutual_inductance_paths_fast(a, b)
+        m_scaled = mutual_inductance_paths_fast(a, b_weighted)
+        assert math.isclose(m_scaled, w * m_unit, rel_tol=1e-9, abs_tol=1e-20)

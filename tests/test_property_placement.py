@@ -1,0 +1,130 @@
+"""Property-based tests for placement invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components import FilmCapacitorX2, small_bobbin_choke
+from repro.geometry import Placement2D, Polygon2D, Vec2
+from repro.placement import (
+    AutoPlacer,
+    Board,
+    DesignRuleChecker,
+    PlacedComponent,
+    PlacementError,
+    PlacementProblem,
+)
+from repro.rules import MinDistanceRule, RuleSet, effective_min_distance
+
+pemds = st.floats(min_value=0.005, max_value=0.03, allow_nan=False)
+angles = st.floats(min_value=0.0, max_value=math.pi, allow_nan=False)
+residuals = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestEmdLawProperties:
+    @given(pemds, angles, residuals)
+    def test_emd_never_exceeds_pemd(self, pemd, alpha, residual):
+        emd = effective_min_distance(pemd, alpha, residual)
+        assert 0.0 <= emd <= pemd + 1e-15
+
+    @given(pemds, residuals)
+    def test_emd_at_zero_angle_is_pemd(self, pemd, residual):
+        assert effective_min_distance(pemd, 0.0, residual) == pemd
+
+    @given(pemds, angles)
+    def test_emd_symmetric_about_zero(self, pemd, alpha):
+        assert effective_min_distance(pemd, alpha) == effective_min_distance(
+            pemd, -alpha
+        )
+
+    @given(pemds, residuals)
+    def test_residual_is_floor(self, pemd, residual):
+        emd_90 = effective_min_distance(pemd, math.pi / 2.0, residual)
+        assert math.isclose(emd_90, pemd * residual, rel_tol=1e-12, abs_tol=1e-15)
+
+
+@st.composite
+def random_problems(draw):
+    """2-5 components with random rules on a generous board."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    problem = PlacementProblem(
+        [Board(0, Polygon2D.rectangle(0.0, 0.0, 0.12, 0.1))]
+    )
+    for i in range(n):
+        if draw(st.booleans()):
+            comp = FilmCapacitorX2()
+        else:
+            comp = small_bobbin_choke()
+        problem.add_component(PlacedComponent(f"U{i}", comp))
+    rules = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                rules.append(
+                    MinDistanceRule(f"U{i}", f"U{j}", pemd=draw(pemds))
+                )
+    problem.rules = RuleSet(min_distance=rules)
+    return problem
+
+
+class TestPlacerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(random_problems())
+    def test_auto_placement_is_legal(self, problem):
+        try:
+            report = AutoPlacer(problem).run()
+        except PlacementError:
+            return  # an over-constrained draw is acceptable; no legality claim
+        assert report.placed_count == len(problem.components)
+        checker = DesignRuleChecker(problem)
+        assert not checker.check_body_spacing()
+        assert not checker.check_min_distances()
+        assert not checker.check_keepin()
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_problems())
+    def test_all_footprints_inside_board(self, problem):
+        try:
+            AutoPlacer(problem).run()
+        except PlacementError:
+            return
+        outline = problem.board(0).outline
+        for comp in problem.placed():
+            rect = comp.footprint_aabb()
+            assert outline.contains_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        random_problems(),
+        st.floats(min_value=-0.01, max_value=0.01),
+        st.floats(min_value=-0.01, max_value=0.01),
+    )
+    def test_drc_translation_invariance(self, problem, dx, dy):
+        try:
+            AutoPlacer(problem).run()
+        except PlacementError:
+            return
+        checker = DesignRuleChecker(problem)
+        before = len(checker.check_min_distances())
+        for comp in problem.placed():
+            comp.placement = comp.placement.translated(Vec2(dx, dy))
+        after = len(checker.check_min_distances())
+        assert before == after
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_problems())
+    def test_markers_consistent_with_violations(self, problem):
+        # Place everything at random-ish spots (legal or not) and check the
+        # marker colours agree with the DRC verdicts pair by pair.
+        for i, comp in enumerate(problem.components.values()):
+            comp.placement = Placement2D.at(
+                0.015 + 0.02 * (i % 3), 0.015 + 0.02 * (i // 3)
+            )
+        checker = DesignRuleChecker(problem)
+        violating_pairs = {
+            tuple(sorted(v.refs)) for v in checker.check_min_distances()
+        }
+        for marker in checker.rule_markers():
+            pair = tuple(sorted((marker.ref_a, marker.ref_b)))
+            assert marker.satisfied == (pair not in violating_pairs)

@@ -1,0 +1,130 @@
+"""Unit tests for the EMD = PEMD * max(|cos alpha|, residual) law."""
+
+import math
+
+import pytest
+
+from repro.components import (
+    BobbinChoke,
+    FilmCapacitorX2,
+    cm_choke_3w,
+    small_bobbin_choke,
+)
+from repro.geometry import Placement2D
+from repro.rules import (
+    axis_angle,
+    effective_min_distance,
+    emd_factor,
+    emd_for_pair,
+)
+
+
+class TestAxisAngle:
+    def test_parallel_caps(self, x2_cap):
+        a = axis_angle(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.03, 0)
+        )
+        assert a == pytest.approx(0.0, abs=1e-6)
+
+    def test_perpendicular_caps(self, x2_cap):
+        a = axis_angle(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.03, 0, 90)
+        )
+        assert a == pytest.approx(math.pi / 2.0, abs=1e-6)
+
+    def test_folded_to_first_quadrant(self, x2_cap):
+        a = axis_angle(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.03, 0, 180)
+        )
+        assert a == pytest.approx(0.0, abs=1e-6)
+
+    def test_cap_vs_vertical_choke(self, x2_cap):
+        vert = BobbinChoke(orientation="vertical")
+        a = axis_angle(x2_cap, Placement2D.at(0, 0), vert, Placement2D.at(0.03, 0))
+        assert a == pytest.approx(math.pi / 2.0, abs=1e-3)
+
+
+class TestEffectiveMinDistance:
+    def test_paper_cosine_law(self):
+        pemd = 0.03
+        assert effective_min_distance(pemd, 0.0) == pytest.approx(pemd)
+        assert effective_min_distance(pemd, math.radians(60)) == pytest.approx(
+            pemd * 0.5
+        )
+        assert effective_min_distance(pemd, math.pi / 2.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_residual_floor(self):
+        assert effective_min_distance(0.03, math.pi / 2.0, residual=0.5) == pytest.approx(
+            0.015
+        )
+
+    def test_cos_dominates_when_larger(self):
+        assert effective_min_distance(0.03, 0.0, residual=0.5) == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_min_distance(-0.01, 0.0)
+        with pytest.raises(ValueError):
+            effective_min_distance(0.01, 0.0, residual=2.0)
+
+
+class TestEmdForPair:
+    def test_rotating_by_90_reduces_emd(self, x2_cap):
+        other = FilmCapacitorX2()
+        pemd = 0.03
+        full = emd_for_pair(
+            x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0), pemd
+        )
+        reduced = emd_for_pair(
+            x2_cap, Placement2D.at(0, 0), other, Placement2D.at(0.03, 0, 90), pemd
+        )
+        assert full == pytest.approx(pemd)
+        assert reduced == pytest.approx(0.0, abs=1e-9)
+
+    def test_rule_residual_respected(self, x2_cap):
+        other = FilmCapacitorX2()
+        reduced = emd_for_pair(
+            x2_cap,
+            Placement2D.at(0, 0),
+            other,
+            Placement2D.at(0.03, 0, 90),
+            0.03,
+            rule_residual=0.8,
+        )
+        assert reduced == pytest.approx(0.024)
+
+    def test_vertical_axis_component_keeps_full_pemd(self, x2_cap):
+        vert = BobbinChoke(orientation="vertical")
+        for rot in (0.0, 45.0, 90.0):
+            emd = emd_for_pair(
+                x2_cap, Placement2D.at(0, 0), vert, Placement2D.at(0.03, 0, rot), 0.03
+            )
+            assert emd == pytest.approx(0.03, rel=1e-3)
+
+    def test_three_winding_choke_floor(self, x2_cap):
+        choke = cm_choke_3w()
+        emd = emd_for_pair(
+            x2_cap, Placement2D.at(0, 0), choke, Placement2D.at(0.04, 0), 0.03
+        )
+        # The vertical net axis gives alpha = 90 deg; the 0.6 residual of
+        # the rotating stray field keeps 60 % of the rule.
+        assert emd >= 0.03 * 0.6 - 1e-9
+
+    def test_factor_bounds(self, x2_cap):
+        f = emd_factor(
+            x2_cap,
+            Placement2D.at(0, 0),
+            small_bobbin_choke(),
+            Placement2D.at(0.03, 0, 37),
+        )
+        assert 0.0 <= f <= 1.0
+
+    def test_negative_pemd_rejected(self, x2_cap):
+        with pytest.raises(ValueError):
+            emd_for_pair(
+                x2_cap,
+                Placement2D.at(0, 0),
+                FilmCapacitorX2(),
+                Placement2D.at(0.03, 0),
+                -1.0,
+            )

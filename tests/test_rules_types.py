@@ -1,0 +1,108 @@
+"""Unit tests for rule objects and the rule set."""
+
+import pytest
+
+from repro.rules import (
+    ClearanceRule,
+    GroupCoherenceRule,
+    MinDistanceRule,
+    NetLengthRule,
+    RuleSet,
+)
+
+
+class TestMinDistanceRule:
+    def test_valid(self):
+        r = MinDistanceRule("C1", "C2", pemd=0.025, k_threshold=0.01)
+        assert r.pair() == ("C1", "C2")
+        assert r.kind == "MinDistanceRule"
+
+    def test_pair_canonical_order(self):
+        assert MinDistanceRule("Z9", "A1", pemd=0.01).pair() == ("A1", "Z9")
+
+    def test_same_ref_rejected(self):
+        with pytest.raises(ValueError):
+            MinDistanceRule("C1", "C1", pemd=0.01)
+
+    def test_negative_pemd_rejected(self):
+        with pytest.raises(ValueError):
+            MinDistanceRule("C1", "C2", pemd=-0.01)
+
+    def test_residual_bounds(self):
+        with pytest.raises(ValueError):
+            MinDistanceRule("C1", "C2", pemd=0.01, residual=1.5)
+
+
+class TestClearanceRule:
+    def test_global_rule(self):
+        r = ClearanceRule(clearance=1e-3)
+        assert r.is_global
+
+    def test_pair_rule(self):
+        r = ClearanceRule("C1", "C2", clearance=2e-3)
+        assert not r.is_global
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ClearanceRule(clearance=-1.0)
+
+
+class TestGroupAndNetRules:
+    def test_group_needs_members(self):
+        with pytest.raises(ValueError):
+            GroupCoherenceRule(group="g", members=("C1",), max_spread=0.05)
+
+    def test_group_valid(self):
+        r = GroupCoherenceRule(group="g", members=("C1", "C2"), max_spread=0.05)
+        assert r.max_spread == 0.05
+
+    def test_net_length_valid(self):
+        r = NetLengthRule(net="VIN", max_length=0.1)
+        assert r.net == "VIN"
+
+    def test_net_length_invalid(self):
+        with pytest.raises(ValueError):
+            NetLengthRule(net="", max_length=0.1)
+        with pytest.raises(ValueError):
+            NetLengthRule(net="N", max_length=0.0)
+
+
+class TestRuleSet:
+    def build(self) -> RuleSet:
+        return RuleSet(
+            min_distance=[
+                MinDistanceRule("C1", "C2", pemd=0.02),
+                MinDistanceRule("C1", "L1", pemd=0.03),
+            ],
+            clearance=[
+                ClearanceRule(clearance=1e-3),
+                ClearanceRule("C1", "C2", clearance=3e-3),
+            ],
+        )
+
+    def test_min_distance_lookup(self):
+        rs = self.build()
+        rule = rs.min_distance_for("C2", "C1")
+        assert rule is not None and rule.pemd == 0.02
+        assert rs.min_distance_for("C2", "L1") is None
+
+    def test_clearance_specific_beats_global(self):
+        rs = self.build()
+        assert rs.clearance_for("C1", "C2", default=5e-4) == 3e-3
+
+    def test_clearance_global_beats_default(self):
+        rs = self.build()
+        assert rs.clearance_for("C1", "L1", default=5e-4) == 1e-3
+
+    def test_clearance_default_fallback(self):
+        rs = RuleSet()
+        assert rs.clearance_for("A", "B", default=7e-4) == 7e-4
+
+    def test_rules_involving(self):
+        rs = self.build()
+        assert len(rs.rules_involving("C1")) == 2
+        assert len(rs.rules_involving("L1")) == 1
+        assert rs.rules_involving("Q9") == []
+
+    def test_total_rules(self):
+        assert self.build().total_rules() == 4

@@ -1,0 +1,119 @@
+"""Unit tests for SVG and ASCII visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.emi import CISPR25_CLASS3_PEAK, Spectrum
+from repro.placement import AutoPlacer
+from repro.viz import heatmap, render_board_svg, series_table, spectrum_plot
+
+from conftest import build_small_problem
+
+
+def placed_problem():
+    problem = build_small_problem()
+    AutoPlacer(problem).run()
+    return problem
+
+
+class TestSvg:
+    def test_valid_svg_document(self):
+        svg = render_board_svg(placed_problem(), title="test")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "test" in svg
+
+    def test_every_component_labelled(self):
+        problem = placed_problem()
+        svg = render_board_svg(problem)
+        for ref in problem.components:
+            assert f">{ref}</text>" in svg
+
+    def test_markers_rendered(self):
+        problem = placed_problem()
+        svg = render_board_svg(problem, show_markers=True)
+        assert "circle" in svg
+        svg_off = render_board_svg(problem, show_markers=False)
+        assert "circle" not in svg_off
+
+    def test_group_tints(self):
+        problem = placed_problem()
+        problem.define_group("g", ["C1", "L1"])
+        svg = render_board_svg(problem, show_groups=True)
+        assert "#aed6f1" in svg  # first group colour
+
+    def test_all_markers_green_after_auto_place(self):
+        svg = render_board_svg(placed_problem())
+        assert 'stroke="red"' not in svg
+        assert 'stroke="green"' in svg
+
+
+class TestAsciiPlots:
+    def spectrum(self) -> Spectrum:
+        freqs = np.geomspace(150e3, 108e6, 40)
+        values = (1e-3 / (1 + freqs / 1e6)).astype(complex)
+        return Spectrum(freqs, values)
+
+    def test_spectrum_plot_contains_legend_and_axis(self):
+        out = spectrum_plot({"pred": self.spectrum()}, limit=CISPR25_CLASS3_PEAK)
+        assert "[1] pred" in out
+        assert "MHz" in out
+        assert "L" in out
+
+    def test_two_series_two_markers(self):
+        out = spectrum_plot({"a": self.spectrum(), "b": self.spectrum().scaled(0.1)})
+        assert "[1] a" in out and "[2] b" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            spectrum_plot({})
+
+    def test_heatmap_shape(self):
+        values = np.abs(np.random.default_rng(0).standard_normal((5, 12))) + 1e-9
+        out = heatmap(values)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 12 for line in lines)
+
+    def test_heatmap_requires_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.array([1.0, 2.0]))
+
+    def test_series_table_alignment(self):
+        out = series_table(
+            ["name", "value"], [["alpha", 1.25], ["b", 0.5]], float_fmt="{:.2f}"
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.25" in lines[2]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # perfectly aligned
+
+
+class TestFieldSvg:
+    def test_renders_valid_svg_with_field_layer(self):
+        from repro.viz import render_field_svg
+
+        problem = placed_problem()
+        svg = render_field_svg(problem, resolution=16, title="field")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # A real field layer: many tinted cells under the parts.
+        assert svg.count('fill-opacity="0.55"') > 20
+
+    def test_components_drawn_on_top(self):
+        from repro.viz import render_field_svg
+
+        problem = placed_problem()
+        svg = render_field_svg(problem, resolution=12)
+        # Component polygons appear after (= above) the field cells.
+        first_cell = svg.find('fill-opacity="0.55"')
+        first_label = svg.find("</text>")
+        assert 0 < first_cell < first_label
+
+    def test_empty_board_rejected(self):
+        from repro.viz import render_field_svg
+
+        problem = build_small_problem()
+        with pytest.raises(ValueError):
+            render_field_svg(problem)
