@@ -11,8 +11,6 @@ The bench measurement is synthesised per the substitution documented in
 DESIGN.md (full coupled model + tolerance detuning + receiver effects).
 """
 
-import numpy as np
-
 from repro.viz import series_table, spectrum_plot
 
 

@@ -3,14 +3,22 @@
 Each benchmark regenerates the data behind one figure of the paper and
 writes a text artefact to ``benchmarks/out/`` so EXPERIMENTS.md can quote
 the exact series; heavy pipeline artefacts are computed once per session.
+
+Every benchmark additionally runs under a fresh tracer and drops a
+``BENCH_<module>__<test>.json`` run report next to its text artefact —
+the repository's perf trajectory (span wall times, solver counters).
+Session-scoped fixtures are computed during the first benchmark that
+requests them, so their spans land in that benchmark's report.
 """
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.converters import BuckConverterDesign
 from repro.core import EmiDesignFlow
 
@@ -33,6 +41,20 @@ def record(out_dir):
         print(f"\n===== {name} =====\n{text}\n")
 
     return _record
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request, out_dir):
+    """Trace every benchmark and write its ``BENCH_*.json`` run report."""
+    module = Path(str(request.node.fspath)).stem
+    test = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    tracer = obs.enable(meta={"benchmark": f"{module}::{request.node.name}"})
+    try:
+        yield
+    finally:
+        obs.disable()
+        report = tracer.report()
+        (out_dir / f"BENCH_{module}__{test}.json").write_text(report.to_json() + "\n")
 
 
 @pytest.fixture(scope="session")

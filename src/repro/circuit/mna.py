@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_tracer
 from .elements import (
     GROUND_NAMES,
     Capacitor,
@@ -241,6 +242,7 @@ class MnaSystem:
         """
         omega = 2.0 * math.pi * freq
         a = self._g + 1j * omega * self._s
+        get_tracer().count("circuit.mna_factorizations")
         try:
             x = np.linalg.solve(a, self._rhs(freq))
         except np.linalg.LinAlgError as exc:
@@ -265,8 +267,12 @@ class MnaSystem:
 
     def ac_sweep(self, freqs: np.ndarray) -> AcSweepResult:
         """Solve over a grid of frequencies."""
-        sols = [self.solve_ac(float(f)) for f in np.asarray(freqs, dtype=float)]
-        return AcSweepResult(np.asarray(freqs, dtype=float), sols)
+        grid = np.asarray(freqs, dtype=float)
+        tracer = get_tracer()
+        with tracer.span("circuit.ac_sweep"):
+            tracer.count("circuit.sweep_points", len(grid))
+            sols = [self.solve_ac(float(f)) for f in grid]
+        return AcSweepResult(grid, sols)
 
     def transfer(self, output_node: str, freqs: np.ndarray) -> np.ndarray:
         """Complex transfer from the (single) unit source to a node voltage.

@@ -29,8 +29,8 @@ from .elements import (
     Inductor,
     Resistor,
     Switch,
-    VoltageSource,
 )
+from ..obs import get_tracer
 from .netlist import Circuit
 from .mna import MnaSystem
 
@@ -98,6 +98,12 @@ class TransientSolver:
         """
         if dt <= 0.0 or t_end <= t_start:
             raise ValueError("need dt > 0 and t_end > t_start")
+        tracer = get_tracer()
+        with tracer.span("circuit.transient"):
+            return self._integrate(t_end, dt, t_start, tracer)
+
+    def _integrate(self, t_end: float, dt: float, t_start, tracer) -> TransientResult:
+        solve_count = 0
         mna = self._mna
         n_nodes, n_ind, n_src = mna.n_nodes, mna.n_ind, mna.n_src
         size = mna.size
@@ -198,6 +204,7 @@ class TransientSolver:
                     rhs[row] = src.value_at_time(t)
 
                 x = np.linalg.solve(a, rhs)
+                solve_count += 1
 
                 # Re-evaluate diode states; repeat the step if any flipped.
                 changed = False
@@ -240,6 +247,8 @@ class TransientSolver:
             ind_i_prev = i_now_vec.copy()
             ind_e_prev = e_now
 
+        tracer.count("circuit.transient_steps", n_steps)
+        tracer.count("circuit.transient_solves", solve_count)
         node_series = {
             name: volts[:, idx] for name, idx in mna._node_idx.items()  # noqa: SLF001
         }

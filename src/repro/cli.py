@@ -12,6 +12,10 @@ Mirrors the paper's usage loop on the ASCII file interface::
 red/green rule verdicts, ``rules`` derives PEMD rules for every pair of
 field-relevant parts in the file, ``compact`` shrinks a legal layout, and
 ``demo`` reproduces the buck-converter headline comparison.
+
+Every subcommand accepts ``--trace`` (print the span/counter table after
+the run) and ``--metrics-out FILE`` (write the run report as JSON); see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -32,7 +36,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_place = sub.add_parser("place", help="automatic placement of a problem file")
+    # Instrumentation flags shared by every subcommand.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span/counter table after the run",
+    )
+    obs_flags.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the run report (span tree, counters, gauges) as JSON",
+    )
+
+    p_place = sub.add_parser(
+        "place",
+        help="automatic placement of a problem file",
+        parents=[obs_flags],
+    )
     p_place.add_argument("problem", type=Path)
     p_place.add_argument("-o", "--output", type=Path, help="write placed problem")
     p_place.add_argument("--svg", type=Path, help="write an SVG board view")
@@ -51,12 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="rip-up-and-replace wirelength refinement after placement",
     )
 
-    p_drc = sub.add_parser("drc", help="check a placed problem file")
+    p_drc = sub.add_parser(
+        "drc", help="check a placed problem file", parents=[obs_flags]
+    )
     p_drc.add_argument("problem", type=Path)
     p_drc.add_argument("--csv", type=Path, help="write rule markers as CSV")
 
     p_rules = sub.add_parser(
-        "rules", help="derive PEMD rules for the field-relevant parts"
+        "rules",
+        help="derive PEMD rules for the field-relevant parts",
+        parents=[obs_flags],
     )
     p_rules.add_argument("problem", type=Path)
     p_rules.add_argument("--k-threshold", type=float, default=0.01)
@@ -65,12 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pairs", type=int, default=40, help="cap on derived pairs"
     )
 
-    p_compact = sub.add_parser("compact", help="shrink a legal layout")
+    p_compact = sub.add_parser(
+        "compact", help="shrink a legal layout", parents=[obs_flags]
+    )
     p_compact.add_argument("problem", type=Path)
     p_compact.add_argument("-o", "--output", type=Path)
     p_compact.add_argument("--step-mm", type=float, default=1.0)
 
-    p_demo = sub.add_parser("demo", help="run the buck-converter comparison")
+    p_demo = sub.add_parser(
+        "demo", help="run the buck-converter comparison", parents=[obs_flags]
+    )
     p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
     return parser
 
@@ -249,9 +280,40 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    """Entry point; returns a process exit code.
+
+    When ``--trace`` or ``--metrics-out`` is given, the command runs under
+    a fresh global tracer; the resulting run report is printed as a table
+    and/or written as JSON after the command finishes (also on failure, so
+    partial runs can be diagnosed).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    want_metrics = getattr(args, "trace", False) or (
+        getattr(args, "metrics_out", None) is not None
+    )
+    if not want_metrics:
+        return _COMMANDS[args.command](args)
+
+    # Fail fast: don't run a long command only to lose its report.
+    if args.metrics_out is not None:
+        parent = Path(args.metrics_out).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--metrics-out: directory does not exist: {parent}")
+
+    from .obs import disable, enable
+
+    tracer = enable(meta={"command": args.command, "argv": list(argv or sys.argv[1:])})
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        disable()
+        report = tracer.report()
+        if args.metrics_out is not None:
+            report.write(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        if args.trace:
+            print(report.table())
 
 
 if __name__ == "__main__":  # pragma: no cover

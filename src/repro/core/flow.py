@@ -32,6 +32,7 @@ from ..converters import (
 )
 from ..coupling import CouplingDatabase
 from ..emi import CISPR25_CLASS3_PEAK, EmiReceiver, LimitLine, Spectrum
+from ..obs import get_tracer
 from ..placement import (
     AutoPlacer,
     BaselinePlacer,
@@ -90,7 +91,8 @@ class EmiDesignFlow:
         self, couplings: dict[tuple[str, str], float] | None = None
     ) -> Spectrum:
         """Interference spectrum with optional layout couplings."""
-        return self.design.emission_spectrum(couplings)
+        with get_tracer().span("flow.simulate"):
+            return self.design.emission_spectrum(couplings)
 
     # -- step 2: sensitivity --------------------------------------------------
 
@@ -102,12 +104,16 @@ class EmiDesignFlow:
     def run_sensitivity(self) -> list[SensitivityEntry]:
         """Rank all coupling-branch pairs by interference impact (cached)."""
         if self._sensitivity is None:
-            circuit, meas = self.design.emi_circuit()
-            analyzer = SensitivityAnalyzer(
-                circuit, meas, self.sensitivity_frequencies(), k_probe=self.k_threshold
-            )
-            pairs = list(combinations(sorted(COUPLING_BRANCHES), 2))
-            self._sensitivity = analyzer.rank(pairs)
+            with get_tracer().span("flow.sensitivity"):
+                circuit, meas = self.design.emi_circuit()
+                analyzer = SensitivityAnalyzer(
+                    circuit,
+                    meas,
+                    self.sensitivity_frequencies(),
+                    k_probe=self.k_threshold,
+                )
+                pairs = list(combinations(sorted(COUPLING_BRANCHES), 2))
+                self._sensitivity = analyzer.rank(pairs)
         return self._sensitivity
 
     def relevant_pairs(self) -> list[SensitivityEntry]:
@@ -123,13 +129,15 @@ class EmiDesignFlow:
     def derive_rules(self) -> list[MinDistanceRule]:
         """PEMD rules for every relevant pair (cached)."""
         if self._rules is None:
-            self._rules = derive_rule_set(
-                self.design.parts(),
-                self.relevant_pairs(),
-                COUPLING_BRANCHES,
-                k_threshold_db_map=self.k_threshold,
-                ground_plane_z=self.ground_plane_z,
-            )
+            relevant = self.relevant_pairs()
+            with get_tracer().span("flow.rules"):
+                self._rules = derive_rule_set(
+                    self.design.parts(),
+                    relevant,
+                    COUPLING_BRANCHES,
+                    k_threshold_db_map=self.k_threshold,
+                    ground_plane_z=self.ground_plane_z,
+                )
         return self._rules
 
     def problem_with_rules(self) -> PlacementProblem:
@@ -143,29 +151,32 @@ class EmiDesignFlow:
     def place_baseline(self) -> tuple[PlacementProblem, PlacementReport]:
         """EMI-unaware compact layout (the paper's Fig. 1 situation)."""
         problem = self.problem_with_rules()
-        report = BaselinePlacer(problem).run()
+        with get_tracer().span("flow.placement"):
+            report = BaselinePlacer(problem).run()
         return problem, report
 
     def place_optimized(self) -> tuple[PlacementProblem, PlacementReport]:
         """EMI-aware automatic layout (the paper's Fig. 2 / Fig. 16)."""
         problem = self.problem_with_rules()
-        report = AutoPlacer(problem).run()
+        with get_tracer().span("flow.placement"):
+            report = AutoPlacer(problem).run()
         return problem, report
 
     # -- step 5: verification -----------------------------------------------------
 
     def evaluate(self, name: str, problem: PlacementProblem) -> LayoutEvaluation:
         """Field-simulate a layout, predict its spectrum, check limits."""
-        couplings = layout_couplings(
-            problem,
-            refdes_of_interest=list(COUPLING_BRANCHES.values()),
-            ground_plane_z=self.ground_plane_z,
-            database=self._db,
-        )
-        spectrum = self.predict(couplings)
-        checker = DesignRuleChecker(problem)
-        violations = len(checker.check_min_distances())
-        margin = self.limit.worst_margin_db(spectrum)
+        with get_tracer().span("flow.verification"):
+            couplings = layout_couplings(
+                problem,
+                refdes_of_interest=list(COUPLING_BRANCHES.values()),
+                ground_plane_z=self.ground_plane_z,
+                database=self._db,
+            )
+            spectrum = self.predict(couplings)
+            checker = DesignRuleChecker(problem)
+            violations = len(checker.check_min_distances())
+            margin = self.limit.worst_margin_db(spectrum)
         return LayoutEvaluation(
             name=name,
             problem=problem,

@@ -10,7 +10,7 @@ from .capacitive import (
     capacitive_layout_couplings,
     component_capacitance,
 )
-from .database import CouplingDatabase
+from .database import CacheStats, CouplingDatabase
 from .dipole import dipole_coupling_factor, dipole_mutual_inductance
 from .fit import PowerLawFit, fit_power_law
 from .polarization import PolarizedCoupling, decoupling_sweep, polarized_coupling
@@ -31,6 +31,7 @@ __all__ = [
     "fit_power_law",
     "dipole_coupling_factor",
     "dipole_mutual_inductance",
+    "CacheStats",
     "CouplingDatabase",
     "PolarizedCoupling",
     "polarized_coupling",

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 
 from ..components import Component
 from ..geometry import Placement2D
+from ..obs import get_tracer
 from .pair import CouplingResult, component_coupling
 
-__all__ = ["CouplingDatabase"]
+__all__ = ["CacheStats", "CouplingDatabase"]
 
 
 def _relative_key(
@@ -46,6 +47,32 @@ def _relative_key(
     )
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of a :class:`CouplingDatabase`.
+
+    Attributes:
+        hits: lookups answered from the cache (direct or mirrored key).
+        misses: lookups that ran a field simulation.
+        size: number of stored field simulations.
+    """
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of coupling requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
 @dataclass
 class CouplingDatabase:
     """Caching front-end for :func:`component_coupling`.
@@ -69,21 +96,26 @@ class CouplingDatabase:
         placement_b: Placement2D,
     ) -> CouplingResult:
         """Coupling for a placed pair, cached by relative pose."""
+        tracer = get_tracer()
         key = _relative_key(comp_a, placement_a, comp_b, placement_b)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            tracer.count("coupling.cache_hits")
             return cached
         # Symmetric orientation: try the mirrored key too (k is symmetric).
         mirror = _relative_key(comp_b, placement_b, comp_a, placement_a)
         cached = self._cache.get(mirror)
         if cached is not None:
             self.hits += 1
+            tracer.count("coupling.cache_hits")
             return cached
         self.misses += 1
-        result = component_coupling(
-            comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
-        )
+        tracer.count("coupling.cache_misses")
+        with tracer.span("coupling.field_solve"):
+            result = component_coupling(
+                comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
+            )
         self._cache[key] = result
         return result
 
@@ -107,6 +139,11 @@ class CouplingDatabase:
     def cache_size(self) -> int:
         """Number of stored field simulations."""
         return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss accounting as an immutable snapshot."""
+        return CacheStats(hits=self.hits, misses=self.misses, size=len(self._cache))
 
     def clear(self) -> None:
         """Drop all cached results and counters."""

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..components import Component
 from ..geometry import Placement2D, Vec2
+from ..obs import get_tracer
 from .pair import component_coupling
 
 __all__ = ["distance_sweep", "rotation_sweep", "angular_position_sweep"]
@@ -44,14 +45,17 @@ def distance_sweep(
     d = np.asarray(distances, dtype=float)
     if np.any(d <= 0.0):
         raise ValueError("distances must be positive")
-    place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
-    direction = Vec2.from_polar(1.0, np.deg2rad(direction_deg))
-    out = np.empty_like(d)
-    for i, dist in enumerate(d):
-        place_b = Placement2D(direction * float(dist), np.deg2rad(rotation_b_deg))
-        out[i] = abs(
-            component_coupling(comp_a, place_a, comp_b, place_b, ground_plane_z).k
-        )
+    tracer = get_tracer()
+    with tracer.span("coupling.sweep.distance"):
+        tracer.count("coupling.sweep_points", len(d))
+        place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
+        direction = Vec2.from_polar(1.0, np.deg2rad(direction_deg))
+        out = np.empty_like(d)
+        for i, dist in enumerate(d):
+            place_b = Placement2D(direction * float(dist), np.deg2rad(rotation_b_deg))
+            out[i] = abs(
+                component_coupling(comp_a, place_a, comp_b, place_b, ground_plane_z).k
+            )
     return out
 
 
@@ -71,11 +75,16 @@ def rotation_sweep(
     """
     if distance <= 0.0:
         raise ValueError("distance must be positive")
-    place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
-    out = np.empty(len(angles_deg), dtype=float)
-    for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
-        place_b = Placement2D.at(distance, 0.0, float(ang))
-        out[i] = component_coupling(comp_a, place_a, comp_b, place_b, ground_plane_z).k
+    tracer = get_tracer()
+    with tracer.span("coupling.sweep.rotation"):
+        tracer.count("coupling.sweep_points", len(angles_deg))
+        place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
+        out = np.empty(len(angles_deg), dtype=float)
+        for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
+            place_b = Placement2D.at(distance, 0.0, float(ang))
+            out[i] = component_coupling(
+                comp_a, place_a, comp_b, place_b, ground_plane_z
+            ).k
     return out
 
 
@@ -101,13 +110,18 @@ def angular_position_sweep(
     """
     if radius <= 0.0:
         raise ValueError("radius must be positive")
-    place_src = Placement2D.at(0.0, 0.0, 0.0)
-    out = np.empty(len(angles_deg), dtype=float)
-    for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
-        pos = Vec2.from_polar(radius, np.deg2rad(float(ang)))
-        rot = float(ang) + 90.0 if victim_faces_source else victim_rotation_deg
-        place_vic = Placement2D(pos, np.deg2rad(rot))
-        out[i] = abs(
-            component_coupling(source, place_src, victim, place_vic, ground_plane_z).k
-        )
+    tracer = get_tracer()
+    with tracer.span("coupling.sweep.angular_position"):
+        tracer.count("coupling.sweep_points", len(angles_deg))
+        place_src = Placement2D.at(0.0, 0.0, 0.0)
+        out = np.empty(len(angles_deg), dtype=float)
+        for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
+            pos = Vec2.from_polar(radius, np.deg2rad(float(ang)))
+            rot = float(ang) + 90.0 if victim_faces_source else victim_rotation_deg
+            place_vic = Placement2D(pos, np.deg2rad(rot))
+            out[i] = abs(
+                component_coupling(
+                    source, place_src, victim, place_vic, ground_plane_z
+                ).k
+            )
     return out

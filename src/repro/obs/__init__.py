@@ -1,0 +1,49 @@
+"""Observability: structured tracing, stage metrics and run reports.
+
+Zero-dependency (stdlib-only) instrumentation for the EMI design flow:
+
+* :class:`Tracer` / :class:`Span` — hierarchical wall-time spans with call
+  counts and per-span counters, aggregated as a profile tree;
+* :class:`NullTracer` — the always-installed default whose operations are
+  no-ops, keeping instrumented hot paths free when tracing is off;
+* :class:`RunReport` — JSON-serialisable snapshot of a traced run plus a
+  human-readable table (the CLI's ``--trace`` / ``--metrics-out`` output
+  and the benchmark harness's ``BENCH_*.json`` artefacts).
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.enable(meta={"command": "demo"})
+    ...                      # run instrumented code
+    report = obs.disable().report()
+    report.write("metrics.json")
+    print(report.table())
+
+Span naming and the counter catalogue are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .report import RunReport
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunReport",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+]

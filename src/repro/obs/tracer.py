@@ -1,0 +1,272 @@
+"""Hierarchical tracing spans and named counters/gauges.
+
+The instrumentation backbone of the repository: every flow stage and every
+solver hot path opens a :meth:`Tracer.span` and bumps counters through the
+module-level helpers.  Two implementations share the interface:
+
+* :class:`Tracer` — the real thing: a profile tree of :class:`Span` nodes
+  (wall time, call counts, parent/child nesting, per-span counters);
+* :class:`NullTracer` — the default: every operation is a no-op on shared
+  singletons, so instrumented code costs a dict lookup and an attribute
+  call when tracing is off.  Tier-1 test timing must not move.
+
+Spans aggregate *by name within their parent* (a profile tree, not an
+event log): entering ``peec.inductance.assemble`` twice under the same
+parent yields one node with ``count == 2`` and the summed wall time.  That
+keeps reports bounded no matter how many times a hot path runs.
+
+The module-level :func:`get_tracer` / :func:`set_tracer` / :func:`enable` /
+:func:`disable` manage a process-global tracer (single-threaded use; the
+solvers are single-threaded throughout).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+]
+
+
+class Span:
+    """One node of the profile tree.
+
+    Attributes:
+        name: hierarchical dotted name (see docs/OBSERVABILITY.md for the
+            naming convention, e.g. ``"peec.inductance.assemble"``).
+        wall_s: accumulated wall time over all entries [s].
+        count: number of times the span was entered.
+        children: child spans keyed by name.
+        counters: counter increments attributed to this span (while it was
+            the innermost open span).
+    """
+
+    __slots__ = ("name", "wall_s", "count", "children", "counters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.count = 0
+        self.children: dict[str, Span] = {}
+        self.counters: dict[str, float] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, count={self.count}, wall_s={self.wall_s:.6f})"
+
+    def child(self, name: str) -> "Span":
+        """The child span of that name, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = Span(name)
+            self.children[name] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first (pre-order) iteration as ``(depth, span)`` pairs."""
+        yield depth, self
+        for node in self.children.values():
+            yield from node.walk(depth + 1)
+
+    def find(self, name: str) -> "Span | None":
+        """First span of that exact name in the subtree (pre-order)."""
+        for _, node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def total_counters(self) -> dict[str, float]:
+        """Counter totals aggregated over the whole subtree."""
+        totals: dict[str, float] = {}
+        for _, node in self.walk():
+            for key, value in node.counters.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready nested representation."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "count": self.count,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children.values()]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span subtree from :meth:`to_dict` output."""
+        span = cls(str(data["name"]))
+        span.wall_s = float(data.get("wall_s", 0.0))
+        span.count = int(data.get("count", 0))
+        span.counters = {
+            str(k): float(v) for k, v in data.get("counters", {}).items()
+        }
+        for child in data.get("children", []):
+            node = cls.from_dict(child)
+            span.children[node.name] = node
+        return span
+
+
+class _SpanHandle:
+    """Context manager for one entry of one span.
+
+    ``elapsed_s`` holds this entry's wall time after exit — the placer
+    sources its report runtime from it.
+    """
+
+    __slots__ = ("_tracer", "_name", "_span", "_t0", "elapsed_s")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+        self._span: Span | None = None
+        self._t0 = 0.0
+        self.elapsed_s: float | None = None
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = self._tracer._stack
+        span = stack[-1].child(self._name)
+        span.count += 1
+        stack.append(span)
+        self._span = span
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        self.elapsed_s = elapsed
+        assert self._span is not None
+        self._span.wall_s += elapsed
+        self._tracer._stack.pop()
+        return False
+
+
+class _NullSpanHandle:
+    """Shared do-nothing stand-in for :class:`_SpanHandle`."""
+
+    __slots__ = ()
+
+    elapsed_s = None
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+class Tracer:
+    """Collects a profile tree plus global gauges for one run.
+
+    Args:
+        meta: free-form metadata recorded into the final report (command
+            line, benchmark name, …).
+    """
+
+    enabled = True
+
+    def __init__(self, meta: dict[str, Any] | None = None):
+        self.root = Span("run")
+        self.root.count = 1
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.gauges: dict[str, float] = {}
+        self._stack: list[Span] = [self.root]
+        self._t0 = time.perf_counter()
+
+    def span(self, name: str) -> _SpanHandle:
+        """A context manager timing one entry of the named span."""
+        return _SpanHandle(self, name)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to a named counter on the innermost open span."""
+        counters = self._stack[-1].counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def elapsed_s(self) -> float:
+        """Wall time since the tracer was created [s]."""
+        return time.perf_counter() - self._t0
+
+    def report(self, extra_meta: dict[str, Any] | None = None):
+        """Freeze the current state into a :class:`~repro.obs.RunReport`.
+
+        The root span's wall time is set to the tracer's lifetime so the
+        table's percentage column has a stable denominator.
+        """
+        from .report import RunReport
+
+        self.root.wall_s = self.elapsed_s()
+        meta = dict(self.meta)
+        if extra_meta:
+            meta.update(extra_meta)
+        return RunReport(root=self.root, gauges=dict(self.gauges), meta=meta)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op.
+
+    Installed by default; instrumented code paths therefore cost one
+    attribute lookup and one call per span/counter site, which is
+    unmeasurable against any solver work.
+    """
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpanHandle:
+        """Return the shared no-op span handle."""
+        return _NULL_SPAN_HANDLE
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Discard the increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard the value."""
+
+
+NULL_TRACER = NullTracer()
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (the null tracer unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the global tracer and return it."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enable(meta: dict[str, Any] | None = None) -> Tracer:
+    """Install (and return) a fresh global :class:`Tracer`."""
+    tracer = Tracer(meta=meta)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> Tracer | NullTracer:
+    """Restore the null tracer; returns the tracer that was active."""
+    previous = _tracer
+    set_tracer(NULL_TRACER)
+    return previous

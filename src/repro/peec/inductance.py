@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_tracer
 from .filament import Filament, mutual_inductance
 from .mesh import CurrentPath
 
@@ -35,13 +36,16 @@ def partial_inductance_matrix(filaments: list[Filament], order: int = 12) -> np.
     matrix, useful for inspecting a discretisation.
     """
     n = len(filaments)
-    matrix = np.zeros((n, n), dtype=float)
-    for i in range(n):
-        matrix[i, i] = filaments[i].self_inductance()
-        for j in range(i + 1, n):
-            m = mutual_inductance(filaments[i], filaments[j], order)
-            matrix[i, j] = m
-            matrix[j, i] = m
+    tracer = get_tracer()
+    with tracer.span("peec.inductance.assemble"):
+        tracer.count("peec.filament_pairs", n * (n + 1) // 2)
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            matrix[i, i] = filaments[i].self_inductance()
+            for j in range(i + 1, n):
+                m = mutual_inductance(filaments[i], filaments[j], order)
+                matrix[i, j] = m
+                matrix[j, i] = m
     return matrix
 
 
@@ -55,6 +59,9 @@ def loop_self_inductance(path: CurrentPath, order: int = 12) -> float:
     """
     fils = path.filaments
     n = len(fils)
+    tracer = get_tracer()
+    tracer.count("peec.self_inductance_evals")
+    tracer.count("peec.filament_pairs", n * (n + 1) // 2)
     total = 0.0
     for i in range(n):
         wi = fils[i].weight
@@ -77,6 +84,9 @@ def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> 
     field cancellation by opposed orientation (the paper's design rule)
     is representable.
     """
+    tracer = get_tracer()
+    tracer.count("peec.mutual_evals")
+    tracer.count("peec.filament_pairs", len(a.filaments) * len(b.filaments))
     total = 0.0
     for fa in a.filaments:
         for fb in b.filaments:
@@ -96,6 +106,9 @@ def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8)
     """
     from .filament import MU0, _gauss_legendre_01
 
+    tracer = get_tracer()
+    tracer.count("peec.mutual_evals")
+    tracer.count("peec.filament_pairs", len(a.filaments) * len(b.filaments))
     nodes, weights = _gauss_legendre_01(order)
     g = len(nodes)
 

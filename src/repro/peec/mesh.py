@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..geometry import Transform3D, Vec3
+from ..obs import get_tracer
 from .filament import Filament
 
 __all__ = ["CurrentPath", "ring_path", "rectangle_path"]
@@ -157,6 +158,7 @@ def ring_path(
         )
         for i in range(segments)
     ]
+    get_tracer().count("peec.filaments_meshed", segments)
     return CurrentPath(filaments, name=name)
 
 
@@ -194,4 +196,5 @@ def rectangle_path(
         if s.distance_to(e) < 1e-12:
             raise ValueError("degenerate rectangle loop: corners coincide in-plane")
         filaments.append(Filament(s, e, width=width, thickness=thickness, weight=weight))
+    get_tracer().count("peec.filaments_meshed", 4)
     return CurrentPath(filaments, name=name)

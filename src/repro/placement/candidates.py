@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 
 from ..geometry import Polygon2D, Vec2
+from ..obs import get_tracer
 from .model import PlacedComponent, PlacementProblem
 
 __all__ = ["CandidateGenerator"]
@@ -117,6 +118,7 @@ class CandidateGenerator:
             if key not in seen:
                 seen.add(key)
                 out.append(p)
+        get_tracer().count("placement.candidates_generated", len(out))
         return out
 
     def _half_extent(self, comp: PlacedComponent, rotation_deg: float) -> Vec2:

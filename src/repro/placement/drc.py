@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..geometry import Vec2
+from ..obs import get_tracer
 from ..rules import MinDistanceRule, emd_for_pair
 from .metrics import group_spread, net_hpwl
 from .model import PlacementProblem
@@ -275,17 +276,22 @@ class DesignRuleChecker:
 
     def check_all(self) -> list[Violation]:
         """Every rule category, concatenated."""
-        return (
-            self.check_body_spacing()
-            + self.check_min_distances()
-            + self.check_keepin()
-            + self.check_keepouts()
-            + self.check_groups()
-            + self.check_net_lengths()
-        )
+        tracer = get_tracer()
+        with tracer.span("placement.drc.check_all"):
+            tracer.count("placement.drc_checks")
+            return (
+                self.check_body_spacing()
+                + self.check_min_distances()
+                + self.check_keepin()
+                + self.check_keepouts()
+                + self.check_groups()
+                + self.check_net_lengths()
+            )
 
     def check_component(self, refdes: str) -> list[Violation]:
         """Incremental check for one (moved) component — the online DRC."""
+        tracer = get_tracer()
+        tracer.count("placement.drc_checks")
         return (
             self.check_body_spacing(only=refdes)
             + self.check_min_distances(only=refdes)

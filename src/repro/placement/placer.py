@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..geometry import Placement2D, Rect, Vec2
+from ..obs import get_tracer
 from ..rules import MinDistanceRule, emd_for_pair
 from .candidates import CandidateGenerator
 from .drc import DesignRuleChecker
@@ -90,43 +91,59 @@ class AutoPlacer:
     def run(self) -> PlacementReport:
         """Execute rotation -> partition -> sequential placement.
 
+        The report's ``runtime_s`` covers the full three-step method
+        (rotation plan, partition and sequential placement, plus the final
+        DRC pass) and is sourced from the ``placement.run`` span when
+        tracing is enabled.
+
         Raises:
             PlacementError: when some component finds no legal location
                 even after refinement (the report inside the exception
                 message lists the culprits).
         """
+        tracer = get_tracer()
         t0 = time.perf_counter()
+        with tracer.span("placement.run") as run_span:
+            rotation_plan: RotationPlan | None = None
+            if self.optimize_rotation and self.respect_min_distance:
+                with tracer.span("placement.rotation"):
+                    rotation_plan = RotationOptimizer(self.problem).optimize()
 
-        rotation_plan: RotationPlan | None = None
-        if self.optimize_rotation and self.respect_min_distance:
-            rotation_plan = RotationOptimizer(self.problem).optimize()
+            if self.partition and len(self.problem.boards) == 2:
+                with tracer.span("placement.partition"):
+                    Partitioner(self.problem).run()
 
-        if self.partition and len(self.problem.boards) == 2:
-            Partitioner(self.problem).run()
+            with tracer.span("placement.sequential"):
+                order = self._priority_order()
+                failed: list[str] = []
+                for ref in order:
+                    comp = self.problem.components[ref]
+                    if comp.is_placed:
+                        continue
+                    if not self._place_one(comp, rotation_plan):
+                        failed.append(ref)
 
-        order = self._priority_order()
-        failed: list[str] = []
-        for ref in order:
-            comp = self.problem.components[ref]
-            if comp.is_placed:
-                continue
-            if not self._place_one(comp, rotation_plan):
-                failed.append(ref)
+            if failed:
+                raise PlacementError(
+                    f"no legal location found for: {', '.join(failed)} "
+                    f"(placed {len(self.problem.placed())} of "
+                    f"{len(self.problem.components)})"
+                )
 
-        if failed:
-            raise PlacementError(
-                f"no legal location found for: {', '.join(failed)} "
-                f"(placed {len(self.problem.placed())} of "
-                f"{len(self.problem.components)})"
-            )
-
-        checker = DesignRuleChecker(self.problem)
-        violations = checker.check_all() if self.respect_min_distance else (
-            checker.check_body_spacing() + checker.check_keepin() + checker.check_keepouts()
-        )
+            with tracer.span("placement.final_drc"):
+                checker = DesignRuleChecker(self.problem)
+                violations = checker.check_all() if self.respect_min_distance else (
+                    checker.check_body_spacing()
+                    + checker.check_keepin()
+                    + checker.check_keepouts()
+                )
+            tracer.count("placement.components_placed", len(self.problem.placed()))
+        runtime = run_span.elapsed_s
+        if runtime is None:  # null tracer: measure directly
+            runtime = time.perf_counter() - t0
         return PlacementReport(
             placed_count=len(self.problem.placed()),
-            runtime_s=time.perf_counter() - t0,
+            runtime_s=runtime,
             rotation_plan=rotation_plan,
             order=order,
             violations_after=len(violations),
@@ -222,6 +239,7 @@ class AutoPlacer:
             ring_specs.append((other.center(), emd * 1.02 + 1e-4))
 
         candidates = self._generator.all_candidates(comp, rotation_deg, ring_specs)
+        get_tracer().count("placement.candidates_scored", len(candidates))
 
         obstacles = self._obstacles(comp)
         areas = self._legal_areas(comp)

@@ -22,6 +22,7 @@ from itertools import combinations
 import numpy as np
 
 from ..circuit import Circuit, MnaSystem
+from ..obs import get_tracer
 
 __all__ = ["SensitivityEntry", "SensitivityAnalyzer"]
 
@@ -79,6 +80,7 @@ class SensitivityAnalyzer:
 
     def probe_pair(self, inductor_a: str, inductor_b: str) -> SensitivityEntry:
         """Impact of adding ``k_probe`` between one inductor pair."""
+        get_tracer().count("sensitivity.probes")
         baseline = self.baseline_db()
         variant = self.circuit.clone()
         existing = variant.coupling_value(inductor_a, inductor_b)
@@ -100,7 +102,8 @@ class SensitivityAnalyzer:
         if candidate_pairs is None:
             names = [ind.name for ind in self.circuit.inductors()]
             candidate_pairs = list(combinations(names, 2))
-        entries = [self.probe_pair(a, b) for a, b in candidate_pairs]
+        with get_tracer().span("sensitivity.rank"):
+            entries = [self.probe_pair(a, b) for a, b in candidate_pairs]
         entries.sort(key=lambda e: e.impact_db, reverse=True)
         return entries
 

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.io",
     "repro.viz",
     "repro.core",
+    "repro.obs",
     "repro.cli",
 ]
 

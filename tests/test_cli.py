@@ -131,7 +131,8 @@ class TestRefineFlag:
 class TestDemoCommand:
     def test_demo_writes_artifacts(self, tmp_path, capsys):
         out_dir = tmp_path / "demo"
-        code = main(["demo", "--out-dir", str(out_dir)])
+        metrics = tmp_path / "m.json"
+        code = main(["demo", "--out-dir", str(out_dir), "--metrics-out", str(metrics)])
         assert code == 0
         assert (out_dir / "spectra.csv").exists()
         assert (out_dir / "report.md").exists()
@@ -139,3 +140,72 @@ class TestDemoCommand:
         assert (out_dir / "optimized.svg").exists()
         report = (out_dir / "report.md").read_text()
         assert report.startswith("# EMI design-flow report")
+
+        # The acceptance check: the metrics JSON holds a span tree with all
+        # five flow stages at nonzero wall time and populated counters.
+        from repro.obs import RunReport
+
+        run = RunReport.from_json(metrics.read_text())
+        for stage in (
+            "flow.simulate",
+            "flow.sensitivity",
+            "flow.rules",
+            "flow.placement",
+            "flow.verification",
+        ):
+            span = run.find(stage)
+            assert span is not None, f"demo metrics missing {stage}"
+            assert span.wall_s > 0.0
+        totals = run.totals()
+        assert totals["coupling.cache_misses"] > 0
+        assert totals["circuit.mna_factorizations"] > 0
+        assert totals["placement.components_placed"] > 0
+        assert run.meta["command"] == "demo"
+
+
+class TestObservabilityFlags:
+    def test_place_metrics_out(self, problem_file, tmp_path, capsys):
+        from repro import obs
+        from repro.obs import NullTracer, RunReport
+
+        metrics = tmp_path / "place.json"
+        code = main(["place", str(problem_file), "--metrics-out", str(metrics)])
+        assert code == 0
+        assert f"wrote {metrics}" in capsys.readouterr().out
+        run = RunReport.from_json(metrics.read_text())
+        run_span = run.find("placement.run")
+        assert run_span is not None and run_span.wall_s > 0
+        assert run.find("placement.sequential") is not None
+        assert run.totals()["placement.candidates_scored"] > 0
+        # The CLI restores the null tracer afterwards.
+        assert isinstance(obs.get_tracer(), NullTracer)
+
+    def test_place_trace_prints_table(self, problem_file, capsys):
+        code = main(["place", str(problem_file), "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wall [s]" in out
+        assert "placement.run" in out
+        assert "counters:" in out
+
+    def test_metrics_written_even_on_failure(self, tmp_path, capsys):
+        problem = build_small_problem()
+        from repro.geometry import Polygon2D
+        from repro.placement import Board
+
+        problem.boards = [Board(0, Polygon2D.rectangle(0, 0, 0.015, 0.015))]
+        path = tmp_path / "tiny.txt"
+        path.write_text(write_problem(problem))
+        metrics = tmp_path / "fail.json"
+        assert main(["place", str(path), "--metrics-out", str(metrics)]) == 2
+        from repro.obs import RunReport
+
+        run = RunReport.from_json(metrics.read_text())
+        assert run.find("placement.run") is not None
+
+    def test_without_flags_tracer_stays_null(self, problem_file):
+        from repro import obs
+        from repro.obs import NullTracer
+
+        assert main(["place", str(problem_file)]) == 0
+        assert isinstance(obs.get_tracer(), NullTracer)

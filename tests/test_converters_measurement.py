@@ -1,7 +1,6 @@
 """Unit tests for the synthetic CISPR measurement substitute."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import Circuit
 from repro.converters import perturb_circuit, synthesize_measurement

@@ -156,3 +156,84 @@ class TestFlowReport:
 
         report = flow_report(design_flow, layout_comparison)
         assert "placement alone" in report
+
+
+class TestFlowObservability:
+    """One span per flow stage, with populated counters (obs integration)."""
+
+    FLOW_STAGES = [
+        "flow.simulate",
+        "flow.sensitivity",
+        "flow.rules",
+        "flow.placement",
+        "flow.verification",
+    ]
+
+    @pytest.fixture
+    def traced_flow_report(self, monkeypatch):
+        from repro import obs
+        import repro.core.flow as flow_mod
+        from repro.converters import BuckConverterDesign
+        from repro.core import EmiDesignFlow
+
+        # Shrink the flow (fewer branches, coarse frequency grid) so the
+        # end-to-end traced run stays fast; the span structure is identical.
+        subset = dict(list(flow_mod.COUPLING_BRANCHES.items())[:4])
+        monkeypatch.setattr(flow_mod, "COUPLING_BRANCHES", subset)
+        flow = EmiDesignFlow(BuckConverterDesign(), sensitivity_threshold_db=0.0)
+        monkeypatch.setattr(
+            flow, "sensitivity_frequencies", lambda: np.array([150e3, 2e6, 30e6])
+        )
+        tracer = obs.enable(meta={"test": "flow-stages"})
+        try:
+            flow.predict()
+            flow.run_sensitivity()
+            flow.derive_rules()
+            problem, placement_report = flow.place_optimized()
+            flow.evaluate("optimized", problem)
+        finally:
+            obs.disable()
+        return tracer.report(), placement_report
+
+    def test_one_span_per_flow_stage(self, traced_flow_report):
+        report, _ = traced_flow_report
+        for stage in self.FLOW_STAGES:
+            span = report.find(stage)
+            assert span is not None, f"missing flow stage span {stage}"
+            assert span.count == 1
+            assert span.wall_s > 0.0
+
+    def test_stage_spans_are_siblings_at_top_level(self, traced_flow_report):
+        report, _ = traced_flow_report
+        top = set(report.root.children)
+        assert {"flow.sensitivity", "flow.rules", "flow.placement",
+                "flow.verification"} <= top
+
+    def test_counters_populated_across_layers(self, traced_flow_report):
+        report, _ = traced_flow_report
+        totals = report.totals()
+        assert totals["circuit.mna_factorizations"] > 0
+        assert totals["coupling.sweep_points"] > 0
+        assert totals["coupling.cache_misses"] > 0
+        assert totals["placement.candidates_scored"] > 0
+        assert totals["placement.components_placed"] > 0
+        assert totals["sensitivity.probes"] > 0
+        assert totals["peec.filament_pairs"] > 0
+
+    def test_placement_runtime_sourced_from_span_tree(self, traced_flow_report):
+        report, placement_report = traced_flow_report
+        run_span = report.find("placement.run")
+        assert run_span is not None
+        # runtime_s is the placement.run span's wall time and covers the
+        # full three-step method (its children are within it).
+        assert placement_report.runtime_s == pytest.approx(run_span.wall_s)
+        children_wall = sum(c.wall_s for c in run_span.children.values())
+        assert children_wall <= run_span.wall_s + 1e-9
+        assert report.find("placement.sequential") is not None
+
+    def test_report_json_round_trips(self, traced_flow_report):
+        from repro.obs import RunReport
+
+        report, _ = traced_flow_report
+        clone = RunReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.components import FilmCapacitorX2
-from repro.converters import CAPACITIVE_NODES, BuckConverterDesign
+from repro.converters import CAPACITIVE_NODES
 from repro.coupling import capacitive_layout_couplings, component_capacitance
 from repro.geometry import Placement2D
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.components import FilmCapacitorX2, cm_choke_2w, cm_choke_3w
+from repro.components import cm_choke_2w, cm_choke_3w
 from repro.coupling import decoupling_sweep, polarized_coupling
 from repro.geometry import Placement2D
 

@@ -6,7 +6,6 @@ import pytest
 from repro.emi import (
     CISPR25_CLASS3_PEAK,
     CISPR25_CLASS5_PEAK,
-    LimitLine,
     LimitSegment,
     Spectrum,
 )

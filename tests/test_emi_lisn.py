@@ -1,7 +1,5 @@
 """Unit tests for the CISPR 25 artificial network."""
 
-import math
-
 import numpy as np
 import pytest
 

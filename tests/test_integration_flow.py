@@ -7,7 +7,6 @@ CISPR comparison — on the buck-converter demonstrator, asserting the
 """
 
 import numpy as np
-import pytest
 
 from repro.converters import build_demo_board
 from repro.emi import CISPR25_CLASS3_PEAK

@@ -1,7 +1,5 @@
 """Unit tests for the design-rule checker."""
 
-import pytest
-
 from repro.components import FilmCapacitorX2
 from repro.geometry import Cuboid, Placement2D, Polygon2D, Rect
 from repro.placement import (
@@ -11,7 +9,7 @@ from repro.placement import (
     PlacedComponent,
     PlacementProblem,
 )
-from repro.rules import GroupCoherenceRule, MinDistanceRule, NetLengthRule, RuleSet
+from repro.rules import GroupCoherenceRule, NetLengthRule
 
 from conftest import build_small_problem
 

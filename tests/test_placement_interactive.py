@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.geometry import Placement2D, Vec2
+from repro.geometry import Vec2
 from repro.placement import AutoPlacer, InteractiveSession
 
 from conftest import build_small_problem

@@ -1,7 +1,5 @@
 """Unit tests for placement metrics."""
 
-import math
-
 import pytest
 
 from repro.geometry import Placement2D, Vec2

@@ -1,10 +1,7 @@
 """Unit tests for the Manhattan router and trace parasitics."""
 
-import math
-
 import pytest
 
-from repro.components import FilmCapacitorX2
 from repro.geometry import Placement2D, Vec2
 from repro.placement import Net
 from repro.routing import (
