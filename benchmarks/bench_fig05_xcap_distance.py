@@ -31,7 +31,7 @@ def test_fig05_xcap_distance(benchmark, record):
     fit = fit_power_law(distances, couplings)
     rows = [
         [f"{d * 1e3:.1f}", f"{k:.5f}", f"{fit.predict(d):.5f}"]
-        for d, k in zip(distances, couplings)
+        for d, k in zip(distances, couplings, strict=True)
     ]
     table = series_table(["distance mm", "k (PEEC)", "k (fit)"], rows)
     summary = (

@@ -28,7 +28,7 @@ def test_fig06_orientation_rules(benchmark, record):
             f"{abs(k) / k0:.3f}" if k0 > 0 else "-",
             f"{abs(np.cos(np.radians(ang))):.3f}",
         ]
-        for ang, k in zip(angles, couplings)
+        for ang, k in zip(angles, couplings, strict=True)
     ]
     table = series_table(
         ["rotation deg", "k", "|k|/|k(0)|", "cos(angle) bound"], rows
@@ -44,6 +44,6 @@ def test_fig06_orientation_rules(benchmark, record):
     # Shape: monotone |k| decay, cosine bound holds, 90 deg decouples.
     mags = np.abs(couplings)
     assert np.all(np.diff(mags) <= 1e-9)
-    for ang, k in zip(angles, couplings):
+    for ang, k in zip(angles, couplings, strict=True):
         assert abs(k) <= k0 * abs(np.cos(np.radians(ang))) + 1e-4
     assert mags[-1] < 1e-6

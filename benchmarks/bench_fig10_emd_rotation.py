@@ -43,7 +43,7 @@ def test_fig10_emd_rotation(benchmark, record):
             f"{pemd * abs(math.cos(math.radians(ang))) * 1e3:.2f}",
             f"{emd * 1e3:.2f}",
         ]
-        for ang, emd in zip(angles, emds)
+        for ang, emd in zip(angles, emds, strict=True)
     ]
     table = series_table(
         ["alpha deg", "PEMD*cos(alpha) mm", "engine EMD mm"], rows
@@ -57,7 +57,7 @@ def test_fig10_emd_rotation(benchmark, record):
 
     # The engine must reproduce the paper's law exactly for this pair
     # (in-plane axes, no residual).
-    for ang, emd in zip(angles, emds):
+    for ang, emd in zip(angles, emds, strict=True):
         expected = effective_min_distance(pemd, math.radians(float(ang)))
         assert math.isclose(emd, expected, rel_tol=1e-6, abs_tol=1e-9)
     assert math.isclose(emds[0], pemd, rel_tol=1e-9)

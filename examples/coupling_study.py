@@ -53,7 +53,7 @@ def study_rotation() -> None:
     ks = rotation_sweep(FilmCapacitorX2(), FilmCapacitorX2(), 0.025, angles)
     rows = [
         [f"{a:.0f}", f"{k:+.5f}", f"{abs(np.cos(np.radians(a))):.3f}"]
-        for a, k in zip(angles, ks)
+        for a, k in zip(angles, ks, strict=True)
     ]
     print(series_table(["angle deg", "k", "cos bound"], rows))
 

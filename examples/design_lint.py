@@ -1,0 +1,96 @@
+"""Design lint: catch broken inputs before any solver runs.
+
+The checker (``repro.check``) statically validates netlists, coupling
+data, placement constraints and component models against a catalogue of
+stable rule codes (see docs/CHECKS.md).  This example:
+
+1. lints the shipped demo board — clean by construction,
+2. corrupts a copy three ways (a non-physical coupling threshold, a
+   keepout swallowing the whole board, a single-pin net) and shows the
+   diagnostics the linter raises,
+3. demonstrates the flow's opt-in pre-solve gate.
+
+Run:  python examples/design_lint.py
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.check import DesignCheckError, Severity, run_checks
+from repro.converters import BuckConverterDesign, build_demo_board
+from repro.core import EmiDesignFlow
+from repro.geometry import Cuboid, Rect
+from repro.placement import Keepout3D, Net
+
+BOARD_FILE = Path(__file__).parent / "boards" / "demo_board.txt"
+
+
+def main() -> None:
+    # 1. A healthy design: every shipped example lints clean.
+    problem = build_demo_board()
+    report = run_checks(problem=problem, subject="demo board (shipped)")
+    print(report.text())
+    assert report.is_clean(), "shipped demo board must be diagnostic-clean"
+
+    # 2. Break it three ways and lint again.
+    broken = build_demo_board()
+    # (a) a minimum-distance rule claiming a coupling threshold k = 1.2
+    broken.rules.min_distance[0] = replace(
+        broken.rules.min_distance[0], k_threshold=1.2
+    )
+    # (b) a keepout covering the entire board at copper level
+    xmin, ymin, xmax, ymax = broken.boards[0].outline.bbox()
+    broken.boards[0].keepouts.append(
+        Keepout3D(
+            name="blanket",
+            cuboid=Cuboid(Rect(xmin, ymin, xmax, ymax), 0.0, 0.05),
+        )
+    )
+    # (c) a net with a single pin — nothing to route to
+    broken.nets.append(Net(name="NC_STUB", pins=[("C1", "1")]))
+
+    report = run_checks(problem=broken, subject="demo board (corrupted)")
+    print(report.text())
+    for code in ("CPL001", "PLC002", "NET002"):
+        assert code in report.codes(), f"expected {code} to fire"
+    print(
+        f"exit code with --fail-on error would be "
+        f"{report.exit_code(Severity.ERROR)}"
+    )
+
+    # 3. The same battery gates a flow run when precheck=True.
+    flow = EmiDesignFlow(BuckConverterDesign(), precheck=True)
+    flow.run_precheck()
+    print("precheck: buck converter design is clean — flow may solve")
+
+    bad_flow = EmiDesignFlow(BuckConverterDesign(), precheck=True)
+    bad_flow.design.placement_problem = _corrupted(bad_flow)  # type: ignore[method-assign]
+    try:
+        bad_flow.predict()
+    except DesignCheckError as exc:
+        print(f"precheck refused to solve: {exc.report.count(Severity.ERROR)} error(s)")
+
+    # The board files under examples/boards/ lint clean through the CLI too:
+    #   repro-emi check examples/boards/demo_board.txt
+    print(f"board file for the CLI: {BOARD_FILE.name}")
+
+
+def _corrupted(flow: EmiDesignFlow):
+    """A placement_problem() stand-in whose board is fully kept out."""
+
+    def build():
+        problem = BuckConverterDesign().placement_problem()
+        xmin, ymin, xmax, ymax = problem.boards[0].outline.bbox()
+        problem.boards[0].keepouts.append(
+            Keepout3D(
+                name="blanket",
+                cuboid=Cuboid(Rect(xmin, ymin, xmax, ymax), 0.0, 0.05),
+            )
+        )
+        return problem
+
+    return build
+
+
+if __name__ == "__main__":
+    main()

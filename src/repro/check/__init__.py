@@ -1,0 +1,48 @@
+"""repro.check — static design validation (the design linter).
+
+Validates a design *before* any solver runs: netlist connectivity,
+coupling data, placement constraints and component models are checked
+against a catalogue of stable, documented rules (``docs/CHECKS.md``).
+
+Entry points:
+
+* :func:`run_checks` — one call, all applicable analyzers, a
+  :class:`CheckReport`;
+* ``repro-emi check board.txt`` — the CLI front-end (text/JSON output,
+  exit code = max severity);
+* ``EmiDesignFlow(..., precheck=True)`` — the opt-in pre-solve gate that
+  refuses to start a run on error-level diagnostics
+  (:class:`DesignCheckError`).
+
+Individual analyzers (:func:`check_netlist`, :func:`check_couplings`,
+:func:`check_placement`, :func:`check_components`) are exposed for
+targeted use and for extending the battery.
+"""
+
+from .components import check_component_model, check_components
+from .coupling import check_coupling_map, check_couplings, check_rule_couplings
+from .diagnostics import CheckReport, Diagnostic, Severity
+from .engine import DesignCheckError, run_checks
+from .netlist import check_netlist, check_problem_nets
+from .placement import check_placement
+from .registry import RuleSpec, finding, rule_specs, spec_for
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "CheckReport",
+    "RuleSpec",
+    "rule_specs",
+    "spec_for",
+    "finding",
+    "run_checks",
+    "DesignCheckError",
+    "check_netlist",
+    "check_problem_nets",
+    "check_couplings",
+    "check_coupling_map",
+    "check_rule_couplings",
+    "check_placement",
+    "check_components",
+    "check_component_model",
+]

@@ -1,0 +1,190 @@
+"""Structured diagnostics — the output vocabulary of the design linter.
+
+Every finding of the static analyzers is a :class:`Diagnostic`: a stable
+rule code (``NET001``, ``PLC004``, ...), a :class:`Severity`, the path of
+the offending object inside the design, a human message and an optional
+fix hint.  A :class:`CheckReport` aggregates the findings of one run and
+renders them as a human-readable listing or a JSON document (the CLI's
+``--format text|json``).
+
+Severities are integers ordered by badness so that ``max()`` over a report
+is meaningful and maps directly onto the CLI exit code.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "CheckReport"]
+
+
+class Severity(enum.IntEnum):
+    """Badness of a finding; the integer doubles as the CLI exit code."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> Severity:
+        """Parse a case-insensitive severity name.
+
+        Raises:
+            ValueError: for an unknown name.
+        """
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            names = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {text!r} (expected one of {names})") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check.
+
+    Attributes:
+        code: stable rule identifier (see ``docs/CHECKS.md``).
+        severity: how bad the finding is.
+        message: human-readable description citing the offending values.
+        obj: path of the offending object, ``"<domain>/<kind>:<name>"``
+            (e.g. ``"circuit/node:sw"``, ``"problem/keepout:hs1"``).
+        hint: optional suggestion for fixing the design.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    obj: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line human rendering (``ERROR NET001 circuit/node:sw: ...``)."""
+        location = f" {self.obj}" if self.obj else ""
+        text = f"{self.severity.name:7s} {self.code}{location}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-serialisable form."""
+        out = {
+            "code": self.code,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+        }
+        if self.obj:
+            out["obj"] = self.obj
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class CheckReport:
+    """All diagnostics of one linter run, with aggregate queries.
+
+    Attributes:
+        diagnostics: the findings, in analyzer order.
+        subject: what was checked (a file name or design label).
+        analyzers: names of the analyzers that actually ran.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    subject: str = ""
+    analyzers: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def extend(self, found: list[Diagnostic], analyzer: str) -> None:
+        """Append one analyzer's findings and record that it ran."""
+        self.diagnostics.extend(found)
+        if analyzer not in self.analyzers:
+            self.analyzers.append(analyzer)
+
+    # -- aggregate queries --------------------------------------------------
+
+    @property
+    def max_severity(self) -> Severity:
+        """Worst severity present (INFO for a clean report)."""
+        if not self.diagnostics:
+            return Severity.INFO
+        return max(d.severity for d in self.diagnostics)
+
+    def is_clean(self) -> bool:
+        """True when nothing at WARNING level or above was found."""
+        return self.max_severity < Severity.WARNING
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly the given severity."""
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def errors(self) -> list[Diagnostic]:
+        """All ERROR-level findings."""
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        """All WARNING-level findings."""
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def codes(self) -> set[str]:
+        """The distinct rule codes that fired."""
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """All findings of one rule."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        """CLI exit status: the max severity, gated by ``fail_on``.
+
+        Findings below ``fail_on`` do not fail the run (exit 0); at or
+        above it, the exit code is the integer severity (1 or 2).
+        """
+        worst = self.max_severity
+        if worst < fail_on:
+            return 0
+        return int(worst)
+
+    # -- rendering ----------------------------------------------------------
+
+    def text(self) -> str:
+        """Human-readable multi-line report."""
+        lines: list[str] = []
+        header = f"check: {self.subject}" if self.subject else "check"
+        lines.append(header)
+        for diag in self.diagnostics:
+            lines.append("  " + diag.render())
+        lines.append(
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info "
+            f"[{', '.join(self.analyzers) or 'no analyzers'}]"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (stable schema, see docs/CHECKS.md)."""
+        return {
+            "schema": "repro-check-report/1",
+            "subject": self.subject,
+            "analyzers": list(self.analyzers),
+            "max_severity": self.max_severity.name.lower(),
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,98 @@
+"""The check engine: run every applicable analyzer, collect one report.
+
+:func:`run_checks` is the single entry point used by the CLI, the flow's
+pre-solve gate and the tests.  It dispatches on what it is given — a
+placement problem, a circuit, an external coupling map, or any
+combination — runs the matching analyzers under observability spans and
+returns a :class:`CheckReport`.
+
+No solver runs: the engine is safe to call on arbitrarily broken input
+(that is its job).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from ..obs import get_tracer
+from ..placement import PlacementProblem
+from .components import check_components
+from .coupling import check_coupling_map, check_couplings, check_rule_couplings
+from .diagnostics import CheckReport, Diagnostic, Severity
+from .limits import PEMD_REQUIRED_STRENGTH
+from .netlist import check_netlist, check_problem_nets
+from .placement import check_placement
+
+__all__ = ["run_checks", "DesignCheckError"]
+
+
+class DesignCheckError(RuntimeError):
+    """Raised by the flow's pre-solve gate on error-level diagnostics.
+
+    Attributes:
+        report: the full check report, for programmatic inspection.
+    """
+
+    def __init__(self, report: CheckReport) -> None:
+        self.report = report
+        errors = report.errors()
+        summary = "; ".join(f"{d.code}: {d.message}" for d in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... {len(errors) - 5} more"
+        super().__init__(
+            f"design check failed with {len(errors)} error(s): {summary}"
+        )
+
+
+def run_checks(
+    problem: PlacementProblem | None = None,
+    circuit: Circuit | None = None,
+    couplings: dict[tuple[str, str], float] | None = None,
+    subject: str = "",
+    pemd_strength_threshold: float = PEMD_REQUIRED_STRENGTH,
+) -> CheckReport:
+    """Statically validate a design; nothing is solved.
+
+    Args:
+        problem: placement problem (boards, components, rules, nets).
+        circuit: circuit netlist (connectivity, values, couplings).
+        couplings: external refdes-pair -> k map (e.g. layout extraction).
+        subject: label for the report header.
+        pemd_strength_threshold: PLC009 sensitivity (see check.placement).
+
+    Returns:
+        All diagnostics from the analyzers that matched the inputs.
+    """
+    tracer = get_tracer()
+    report = CheckReport(subject=subject)
+    with tracer.span("check.run"):
+        if circuit is not None:
+            with tracer.span("check.netlist"):
+                report.extend(check_netlist(circuit), "netlist")
+            with tracer.span("check.coupling"):
+                report.extend(check_couplings(circuit), "coupling")
+        if couplings is not None:
+            with tracer.span("check.coupling"):
+                report.extend(check_coupling_map(couplings), "coupling")
+        if problem is not None:
+            with tracer.span("check.netlist"):
+                report.extend(check_problem_nets(problem), "netlist")
+            with tracer.span("check.coupling"):
+                report.extend(check_rule_couplings(problem), "coupling")
+            with tracer.span("check.placement"):
+                report.extend(
+                    check_placement(problem, pemd_strength_threshold), "placement"
+                )
+            with tracer.span("check.components"):
+                report.extend(check_components(problem), "component")
+        _count(report.diagnostics)
+    return report
+
+
+def _count(diagnostics: list[Diagnostic]) -> None:
+    tracer = get_tracer()
+    tracer.count("check.diagnostics", len(diagnostics))
+    for diag in diagnostics:
+        if diag.severity >= Severity.ERROR:
+            tracer.count("check.errors")
+        elif diag.severity == Severity.WARNING:
+            tracer.count("check.warnings")

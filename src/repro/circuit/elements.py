@@ -12,7 +12,7 @@ Node names are strings; ``"0"`` (or ``"GND"``) is ground.  Values are SI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = [
     "GROUND_NAMES",

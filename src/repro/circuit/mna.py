@@ -257,11 +257,12 @@ class MnaSystem:
             ) from exc
         node_v = {n: complex(x[i]) for n, i in self._node_idx.items()}
         ind_i = {
-            e.name: complex(x[self.n_nodes + i]) for e, i in zip(self._inductors, range(self.n_ind))
+            e.name: complex(x[self.n_nodes + i])
+            for e, i in zip(self._inductors, range(self.n_ind), strict=True)
         }
         src_i = {
             e.name: complex(x[self.n_nodes + self.n_ind + i])
-            for e, i in zip(self._sources, range(self.n_src))
+            for e, i in zip(self._sources, range(self.n_src), strict=True)
         }
         return AcSolution(freq, node_v, ind_i, src_i)
 

@@ -2,16 +2,19 @@
 
 Mirrors the paper's usage loop on the ASCII file interface::
 
+    repro-emi check  board.txt --format json --fail-on error
     repro-emi place  board.txt -o placed.txt --svg board.svg
     repro-emi drc    placed.txt
     repro-emi rules  board.txt --k-threshold 0.01 -o ruled.txt
     repro-emi compact placed.txt -o compacted.txt
     repro-emi demo   --out-dir out/
 
-``place`` runs the automatic three-step method, ``drc`` prints the
-red/green rule verdicts, ``rules`` derives PEMD rules for every pair of
-field-relevant parts in the file, ``compact`` shrinks a legal layout, and
-``demo`` reproduces the buck-converter headline comparison.
+``check`` statically validates a design file without running any solver
+(rule catalogue in ``docs/CHECKS.md``), ``place`` runs the automatic
+three-step method, ``drc`` prints the red/green rule verdicts, ``rules``
+derives PEMD rules for every pair of field-relevant parts in the file,
+``compact`` shrinks a legal layout, and ``demo`` reproduces the
+buck-converter headline comparison.
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
 the run) and ``--metrics-out FILE`` (write the run report as JSON); see
@@ -49,6 +52,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the run report (span tree, counters, gauges) as JSON",
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="statically validate a design file (no solver runs)",
+        parents=[obs_flags],
+    )
+    p_check.add_argument("problem", type=Path)
+    p_check.add_argument(
+        "--netlist",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also lint a SPICE-style netlist file against the circuit rules",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report rendering (default: text)",
+    )
+    p_check.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="warning",
+        help="minimum severity that produces a nonzero exit code "
+        "(default: warning; the exit code is the max severity, 1 or 2)",
     )
 
     p_place = sub.add_parser(
@@ -118,19 +148,53 @@ def _save(problem, path: Path, title: str) -> None:
     path.write_text(write_problem(problem, title=title))
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import Severity, run_checks
+    from .io import AsciiFormatError
+
+    try:
+        problem = _load(args.problem)
+    except OSError as exc:
+        print(f"check: cannot read {args.problem}: {exc}", file=sys.stderr)
+        return int(Severity.ERROR)
+    except AsciiFormatError as exc:
+        print(f"check: cannot parse {args.problem}: {exc}", file=sys.stderr)
+        return int(Severity.ERROR)
+    circuit = None
+    if args.netlist is not None:
+        from .circuit import parse_netlist
+
+        try:
+            circuit = parse_netlist(args.netlist.read_text(), title=args.netlist.name)
+        except OSError as exc:
+            print(f"check: cannot read {args.netlist}: {exc}", file=sys.stderr)
+            return int(Severity.ERROR)
+        except (ValueError, KeyError) as exc:
+            print(f"check: cannot parse {args.netlist}: {exc}", file=sys.stderr)
+            return int(Severity.ERROR)
+    report = run_checks(problem=problem, circuit=circuit, subject=args.problem.name)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.text())
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     from .placement import AutoPlacer, BaselinePlacer, PlacementError
 
     problem = _load(args.problem)
+    placer = (
+        BaselinePlacer(problem)
+        if args.baseline
+        else AutoPlacer(
+            problem,
+            optimize_rotation=not args.no_rotation,
+            partition=args.partition,
+        )
+    )
     try:
-        if args.baseline:
-            report = BaselinePlacer(problem).run()
-        else:
-            report = AutoPlacer(
-                problem,
-                optimize_rotation=not args.no_rotation,
-                partition=args.partition,
-            ).run()
+        report = placer.run()
     except PlacementError as exc:
         print(f"placement failed: {exc}", file=sys.stderr)
         return 2
@@ -271,6 +335,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "check": _cmd_check,
     "place": _cmd_place,
     "drc": _cmd_drc,
     "rules": _cmd_rules,

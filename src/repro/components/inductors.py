@@ -85,14 +85,17 @@ class BobbinChoke(Component):
         # Centre height: the coil sits on the board for vertical mounting and
         # at half the body height for horizontal mounting.
         for i in range(self.n_rings):
-            if self.n_rings == 1:
-                offset = 0.0
-            else:
-                offset = -self.coil_length / 2.0 + self.coil_length * i / (self.n_rings - 1)
-            if self.orientation == "horizontal":
-                center = Vec3(offset, 0.0, self.body_height / 2.0)
-            else:
-                center = Vec3(0.0, 0.0, self.body_height / 2.0 + offset)
+            offset = (
+                0.0
+                if self.n_rings == 1
+                else -self.coil_length / 2.0
+                + self.coil_length * i / (self.n_rings - 1)
+            )
+            center = (
+                Vec3(offset, 0.0, self.body_height / 2.0)
+                if self.orientation == "horizontal"
+                else Vec3(0.0, 0.0, self.body_height / 2.0 + offset)
+            )
             ring = ring_path(
                 center,
                 self.coil_radius,

@@ -8,7 +8,7 @@ aliasing.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from .base import Component
 from .capacitors import (

@@ -71,12 +71,12 @@ class SmdPowerInductor(Component):
         weight = self.turns / self.n_rings
         path: CurrentPath | None = None
         for i in range(self.n_rings):
-            if self.n_rings == 1:
-                offset = 0.0
-            else:
-                offset = -self.coil_height / 2.0 + self.coil_height * i / (
-                    self.n_rings - 1
-                )
+            offset = (
+                0.0
+                if self.n_rings == 1
+                else -self.coil_height / 2.0
+                + self.coil_height * i / (self.n_rings - 1)
+            )
             ring = ring_path(
                 Vec3(0.0, 0.0, self.body_height / 2.0 + offset),
                 self.coil_radius,

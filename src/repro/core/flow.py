@@ -24,6 +24,7 @@ from itertools import combinations
 
 import numpy as np
 
+from ..check import CheckReport, DesignCheckError, run_checks
 from ..converters import (
     COUPLING_BRANCHES,
     BuckConverterDesign,
@@ -74,6 +75,9 @@ class EmiDesignFlow:
         sensitivity_threshold_db: minimum probe impact for a pair to count
             as relevant.
         limit: CISPR limit line used in verification.
+        precheck: when True, statically validate the design (circuit and
+            placement problem, see :mod:`repro.check`) before the first
+            solve and refuse to run on error-level diagnostics.
     """
 
     design: BuckConverterDesign
@@ -81,9 +85,39 @@ class EmiDesignFlow:
     sensitivity_threshold_db: float = 3.0
     limit: LimitLine = field(default_factory=lambda: CISPR25_CLASS3_PEAK)
     ground_plane_z: float | None = None
+    precheck: bool = False
     _sensitivity: list[SensitivityEntry] | None = field(default=None, init=False)
     _rules: list[MinDistanceRule] | None = field(default=None, init=False)
     _db: CouplingDatabase = field(default_factory=CouplingDatabase, init=False)
+    _precheck_report: CheckReport | None = field(default=None, init=False)
+
+    # -- step 0: static validation (opt-in) ---------------------------------
+
+    def run_precheck(self) -> CheckReport:
+        """Statically validate the design without solving (cached).
+
+        Lints the EMI circuit and the bare placement problem through
+        :func:`repro.check.run_checks`.  Called automatically before the
+        first solve when ``precheck=True``.
+
+        Raises:
+            DesignCheckError: on any error-level diagnostic.
+        """
+        if self._precheck_report is None:
+            with get_tracer().span("flow.precheck"):
+                circuit, _meas = self.design.emi_circuit()
+                self._precheck_report = run_checks(
+                    problem=self.design.placement_problem(),
+                    circuit=circuit,
+                    subject=type(self.design).__name__,
+                )
+        if self._precheck_report.errors():
+            raise DesignCheckError(self._precheck_report)
+        return self._precheck_report
+
+    def _gate(self) -> None:
+        if self.precheck:
+            self.run_precheck()
 
     # -- step 1: prediction -------------------------------------------------
 
@@ -91,6 +125,7 @@ class EmiDesignFlow:
         self, couplings: dict[tuple[str, str], float] | None = None
     ) -> Spectrum:
         """Interference spectrum with optional layout couplings."""
+        self._gate()
         with get_tracer().span("flow.simulate"):
             return self.design.emission_spectrum(couplings)
 
@@ -103,6 +138,7 @@ class EmiDesignFlow:
 
     def run_sensitivity(self) -> list[SensitivityEntry]:
         """Rank all coupling-branch pairs by interference impact (cached)."""
+        self._gate()
         if self._sensitivity is None:
             with get_tracer().span("flow.sensitivity"):
                 circuit, meas = self.design.emi_circuit()
@@ -150,6 +186,7 @@ class EmiDesignFlow:
 
     def place_baseline(self) -> tuple[PlacementProblem, PlacementReport]:
         """EMI-unaware compact layout (the paper's Fig. 1 situation)."""
+        self._gate()
         problem = self.problem_with_rules()
         with get_tracer().span("flow.placement"):
             report = BaselinePlacer(problem).run()
@@ -157,6 +194,7 @@ class EmiDesignFlow:
 
     def place_optimized(self) -> tuple[PlacementProblem, PlacementReport]:
         """EMI-aware automatic layout (the paper's Fig. 2 / Fig. 16)."""
+        self._gate()
         problem = self.problem_with_rules()
         with get_tracer().span("flow.placement"):
             report = AutoPlacer(problem).run()

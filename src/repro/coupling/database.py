@@ -10,14 +10,39 @@ is far below any placement-relevant sensitivity.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from ..check.limits import COUPLING_CLAMP_TOLERANCE
 from ..components import Component
 from ..geometry import Placement2D
 from ..obs import get_tracer
 from .pair import CouplingResult, component_coupling
 
 __all__ = ["CacheStats", "CouplingDatabase"]
+
+
+def _validated(
+    result: CouplingResult, part_a: str, part_b: str
+) -> CouplingResult:
+    """Enforce |k| <= 1 before a result enters the cache.
+
+    Quadrature error on nearly coincident paths can push |k| marginally
+    past 1; such results are clamped back to +-1.  A gross violation is a
+    non-physical field model and is rejected — letting it through would
+    poison the MNA inductance matrix much later (rule CPL001).
+
+    Raises:
+        ValueError: when |k| exceeds 1 beyond the numerical tolerance.
+    """
+    if abs(result.k) <= 1.0:
+        return result
+    if abs(result.k) <= 1.0 + COUPLING_CLAMP_TOLERANCE:
+        return replace(result, k=math.copysign(1.0, result.k))
+    raise ValueError(
+        f"[CPL001] non-physical coupling factor k = {result.k:.4f} for pair "
+        f"{part_a}/{part_b} (|k| must be <= 1): the component field models "
+        f"overlap or are degenerate at this relative pose"
+    )
 
 
 def _relative_key(
@@ -116,6 +141,7 @@ class CouplingDatabase:
             result = component_coupling(
                 comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
             )
+        result = _validated(result, comp_a.part_number, comp_b.part_number)
         self._cache[key] = result
         return result
 

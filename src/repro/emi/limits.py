@@ -56,7 +56,7 @@ class LimitLine:
         """Lines exceeding the limit: (frequency, level, limit) triples."""
         out: list[tuple[float, float, float]] = []
         levels = spectrum.dbuv()
-        for f, level in zip(spectrum.freqs, levels):
+        for f, level in zip(spectrum.freqs, levels, strict=True):
             limit = self.level_at(float(f))
             if limit is not None and level > limit:
                 out.append((float(f), float(level), limit))
@@ -71,7 +71,7 @@ class LimitLine:
         falls into a protected band."""
         margin = float("inf")
         levels = spectrum.dbuv()
-        for f, level in zip(spectrum.freqs, levels):
+        for f, level in zip(spectrum.freqs, levels, strict=True):
             limit = self.level_at(float(f))
             if limit is not None:
                 margin = min(margin, limit - float(level))

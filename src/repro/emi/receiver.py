@@ -53,10 +53,7 @@ def quasi_peak_correction_db(pulse_rate_hz: float, tuned_freq: float) -> float:
     """
     if pulse_rate_hz <= 0.0:
         raise ValueError("pulse rate must be positive")
-    if tuned_freq < 30e6:
-        corner, floor = 10e3, -43.0
-    else:
-        corner, floor = 100e3, -20.0
+    corner, floor = (10e3, -43.0) if tuned_freq < 30e6 else (100e3, -20.0)
     if pulse_rate_hz >= corner:
         return 0.0
     import math
@@ -131,7 +128,7 @@ class EmiReceiver:
         levels = np.full(len(grid), self.noise_floor_dbuv)
         line_levels = spectrum.dbuv()
         idx = np.searchsorted(edges, spectrum.freqs) - 1
-        for i, level in zip(idx, line_levels):
+        for i, level in zip(idx, line_levels, strict=True):
             if 0 <= i < len(grid):
                 levels[i] = max(levels[i], float(level))
         volts = 1e-6 * 10.0 ** (levels / 20.0)

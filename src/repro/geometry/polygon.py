@@ -11,8 +11,8 @@ self-intersecting) and stored counter-clockwise.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from .vec import EPS, Vec2
 
@@ -45,7 +45,9 @@ def convex_hull(points: Iterable[Vec2]) -> list[Vec2]:
     if len(pts) <= 2:
         return [Vec2(x, y) for x, y in pts]
 
-    def orientation(o, a, p) -> int:
+    def orientation(
+        o: tuple[float, float], a: tuple[float, float], p: tuple[float, float]
+    ) -> int:
         """Exact sign of the cross product (o->a) x (o->p)."""
         cross = (Fraction(a[0]) - Fraction(o[0])) * (
             Fraction(p[1]) - Fraction(o[1])
@@ -56,7 +58,7 @@ def convex_hull(points: Iterable[Vec2]) -> list[Vec2]:
             return -1
         return 0
 
-    def half(seq):
+    def half(seq: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
         out: list[tuple[float, float]] = []
         for p in seq:
             # Pop right turns and exact collinear middles (lexicographic
@@ -197,13 +199,13 @@ class Polygon2D:
             (corners[3], corners[0]),
         ]
         n = len(self.vertices)
-        for i in range(n):
-            a = self.vertices[i]
-            b = self.vertices[(i + 1) % n]
-            for p, q in rect_edges:
-                if _segments_properly_intersect(a, b, p, q):
-                    return True
-        return False
+        return any(
+            _segments_properly_intersect(
+                self.vertices[i], self.vertices[(i + 1) % n], p, q
+            )
+            for i in range(n)
+            for p, q in rect_edges
+        )
 
     # -- construction helpers ---------------------------------------------
 

@@ -23,7 +23,8 @@ solvers are single-threaded throughout).
 from __future__ import annotations
 
 import time
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 __all__ = [
     "Span",

@@ -87,7 +87,7 @@ def b_field_grid(
         for ix, x in enumerate(xs):
             p = Vec3(float(x), float(y), z)
             b = Vec3.zero()
-            for path, current in zip(paths, currents):
+            for path, current in zip(paths, currents, strict=True):
                 b = b + b_field(path, p, current)
             out[iy, ix, 0] = b.x
             out[iy, ix, 1] = b.y

@@ -91,10 +91,11 @@ class InteractiveSession:
         ref = self._require_selection()
         comp = self.problem.components[ref]
         self._undo.append((ref, comp.placement))
-        if comp.placement is None:
-            comp.placement = Placement2D(position, 0.0)
-        else:
-            comp.placement = comp.placement.moved_to(position)
+        comp.placement = (
+            Placement2D(position, 0.0)
+            if comp.placement is None
+            else comp.placement.moved_to(position)
+        )
         return self._feedback(ref)
 
     def move_by(self, delta: Vec2) -> MoveResult:

@@ -96,11 +96,12 @@ class RotationOptimizer:
         problem = self.problem
         rotations: dict[str, float] = {}
         for ref, placed in problem.components.items():
-            if placed.is_placed:
-                rotations[ref] = placed.placement.rotation_deg
-            else:
-                # rotations() lists the preferred angle first when set.
-                rotations[ref] = placed.rotations()[0]
+            # rotations() lists the preferred angle first when set.
+            rotations[ref] = (
+                placed.placement.rotation_deg
+                if placed.is_placed
+                else placed.rotations()[0]
+            )
         initial = self._emd_sum(rotations)
 
         # Components involved in at least one rule, most-constrained first.

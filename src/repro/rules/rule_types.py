@@ -139,7 +139,7 @@ class RuleSet:
         clearance: list[ClearanceRule] | None = None,
         groups: list[GroupCoherenceRule] | None = None,
         net_lengths: list[NetLengthRule] | None = None,
-    ):
+    ) -> None:
         self.min_distance = list(min_distance or [])
         self.clearance = list(clearance or [])
         self.groups = list(groups or [])

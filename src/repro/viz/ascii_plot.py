@@ -56,9 +56,9 @@ def spectrum_plot(
             for c in range(col(max(seg.f_lo, f_lo)), col(min(seg.f_hi, f_hi)) + 1):
                 grid[r][c] = "L"
 
-    for (name, spectrum), marker in zip(spectra.items(), markers):
+    for (name, spectrum), marker in zip(spectra.items(), markers, strict=False):
         levels = spectrum.dbuv()
-        for f, level in zip(spectrum.freqs, levels):
+        for f, level in zip(spectrum.freqs, levels, strict=True):
             grid[row(float(level))][col(float(f))] = marker
 
     lines = [f"{db_max:6.1f} |" + "".join(grid[0])]
@@ -69,7 +69,7 @@ def spectrum_plot(
         f"        {f_lo / 1e6:.2f} MHz" + " " * (width - 24) + f"{f_hi / 1e6:.1f} MHz"
     )
     legend = "  ".join(
-        f"[{marker}] {name}" for (name, _s), marker in zip(spectra.items(), markers)
+        f"[{marker}] {name}" for (name, _s), marker in zip(spectra.items(), markers, strict=False)
     )
     if limit is not None:
         legend += f"  [L] {limit.name}"
@@ -105,7 +105,7 @@ def series_table(
     widths = [max(len(row[i]) for row in rendered) for i in range(len(headers))]
     lines = []
     for i, row in enumerate(rendered):
-        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)

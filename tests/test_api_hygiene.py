@@ -52,9 +52,10 @@ def test_exported_objects_documented(package):
     undocumented = []
     for name in getattr(module, "__all__", []):
         obj = getattr(module, name)
-        if inspect.isclass(obj) or inspect.isfunction(obj):
-            if not (obj.__doc__ and obj.__doc__.strip()):
-                undocumented.append(name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not (
+            obj.__doc__ and obj.__doc__.strip()
+        ):
+            undocumented.append(name)
     assert not undocumented, f"{package}: undocumented exports {undocumented}"
 
 

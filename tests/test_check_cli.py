@@ -1,0 +1,112 @@
+"""Tests for the ``repro-emi check`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import write_problem
+
+from conftest import build_small_problem
+
+NETLIST = """\
+* pi filter
+V1 in 0 dc=12
+L1 in out 10u
+C1 out 0 1u
+R1 out 0 50
+"""
+
+
+@pytest.fixture
+def board_file(tmp_path):
+    path = tmp_path / "board.txt"
+    path.write_text(write_problem(build_small_problem(), title="check cli"))
+    return path
+
+
+@pytest.fixture
+def broken_board_file(tmp_path, board_file):
+    # Corrupt the K metadata of the first minimum-distance rule.
+    lines = board_file.read_text().splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("RULE MINDIST"):
+            lines[i] = line + " K 1.2"
+            break
+    path = tmp_path / "broken.txt"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["check", "x.txt"])
+        assert args.format == "text"
+        assert args.fail_on == "warning"
+        assert args.netlist is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["check", "x.txt", "--format", "json", "--fail-on", "error"]
+        )
+        assert args.format == "json"
+        assert args.fail_on == "error"
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "x.txt", "--format", "xml"])
+
+
+class TestCheckCommand:
+    def test_clean_board_exits_zero(self, board_file, capsys):
+        assert main(["check", str(board_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_broken_board_exits_two(self, broken_board_file, capsys):
+        code = main(["check", str(broken_board_file)])
+        assert code == 2
+        assert "CPL001" in capsys.readouterr().out
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path, capsys):
+        problem = build_small_problem()
+        problem.add_net("NC", [("C1", "2")])  # NET002 warning only
+        path = tmp_path / "warn.txt"
+        path.write_text(write_problem(problem, title="warnings"))
+        assert main(["check", str(path)]) == 1
+        assert main(["check", str(path), "--fail-on", "error"]) == 0
+
+    def test_json_output_schema(self, broken_board_file, capsys):
+        code = main(["check", str(broken_board_file), "--format", "json"])
+        assert code == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == "repro-check-report/1"
+        assert data["max_severity"] == "error"
+        assert any(d["code"] == "CPL001" for d in data["diagnostics"])
+
+    def test_netlist_flag_adds_circuit_analyzers(self, board_file, tmp_path, capsys):
+        netlist = tmp_path / "filter.cir"
+        netlist.write_text(NETLIST)
+        code = main(["check", str(board_file), "--netlist", str(netlist)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "netlist" in out
+
+    def test_missing_board_file(self, tmp_path, capsys):
+        code = main(["check", str(tmp_path / "ghost.txt")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unparseable_board_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.txt"
+        path.write_text("BOARD without numbers\n")
+        code = main(["check", str(path)])
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_missing_netlist_file(self, board_file, tmp_path, capsys):
+        code = main(
+            ["check", str(board_file), "--netlist", str(tmp_path / "ghost.cir")]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Unit tests for the component-model analyzer (CMP0xx rules)."""
+
+from dataclasses import dataclass, field
+
+from repro.check import check_component_model
+from repro.components import (
+    FilmCapacitorX2,
+    PowerDiode,
+    PowerMosfet,
+    small_bobbin_choke,
+)
+from repro.components.base import Component
+from repro.geometry import Vec3
+from repro.peec import CoreMaterial, ring_path
+
+FERRITE = CoreMaterial("test-ferrite", mu_r=2000.0, stray_fraction=0.3)
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+@dataclass
+class RingPart(Component):
+    """A well-formed air-core test part: one flat 6 mm ring."""
+
+    part_number: str = "TEST-RING"
+    footprint_w: float = 0.015
+    footprint_h: float = 0.015
+    body_height: float = 0.008
+    ring_radius: float = 0.006
+
+    def build_current_path(self):
+        return ring_path(
+            Vec3(0.0, 0.0, 0.004), self.ring_radius, name=self.part_number
+        )
+
+
+@dataclass
+class FieldlessPart(Component):
+    """A part without a field model (a connector)."""
+
+    part_number: str = "TEST-CONN"
+    footprint_w: float = 0.01
+    footprint_h: float = 0.01
+    body_height: float = 0.005
+
+
+class TestLibraryParts:
+    def test_shipped_parts_are_clean(self):
+        for part in (
+            FilmCapacitorX2(),
+            small_bobbin_choke(),
+            PowerMosfet(),
+            PowerDiode(),
+        ):
+            assert check_component_model(part) == [], part.part_number
+
+    def test_well_formed_test_part_is_clean(self):
+        assert check_component_model(RingPart()) == []
+
+    def test_fieldless_part_skips_field_rules(self):
+        # No current path -> nothing to check beyond the parasitics.
+        assert check_component_model(FieldlessPart()) == []
+
+
+class TestCmp001NegativeEsr:
+    def test_negative_esr(self):
+        class ActivePart(RingPart):
+            @property
+            def esr(self):
+                return -0.5
+
+        diags = check_component_model(ActivePart())
+        assert "CMP001" in _codes(diags)
+
+    def test_negative_esr_reported_even_without_field_model(self):
+        class ActiveConn(FieldlessPart):
+            @property
+            def esr(self):
+                return -0.5
+
+        assert _codes(check_component_model(ActiveConn())) == ["CMP001"]
+
+
+class TestCmp002SuspiciousEsl:
+    def test_huge_esl(self):
+        class HenryPart(RingPart):
+            @property
+            def esl(self):
+                return 0.5  # 0.5 H of "parasitic" inductance
+
+        diags = check_component_model(HenryPart())
+        assert "CMP002" in _codes(diags)
+        assert any("0.5" in d.message or "5.000e-01" in d.message for d in diags)
+
+    def test_nonpositive_esl(self):
+        class ZeroEslPart(RingPart):
+            @property
+            def esl(self):
+                return 0.0
+
+        assert "CMP002" in _codes(check_component_model(ZeroEslPart()))
+
+
+class TestCmp003DegenerateLoop:
+    def test_cored_part_with_degenerate_loop(self):
+        @dataclass
+        class FlatLoop(RingPart):
+            part_number: str = "TEST-DEGEN"
+            core: CoreMaterial = field(default_factory=lambda: FERRITE)
+            ring_radius: float = 1e-6  # vanishing loop: moment ~ 3e-12 m^2
+
+        diags = check_component_model(FlatLoop())
+        assert "CMP003" in _codes(diags)
+
+    def test_air_core_degenerate_loop_is_tolerated(self):
+        @dataclass
+        class AirLoop(RingPart):
+            part_number: str = "TEST-AIRDEGEN"
+            ring_radius: float = 1e-6
+
+        assert "CMP003" not in _codes(check_component_model(AirLoop()))
+
+
+class TestCmp004AxisNotUnit:
+    def test_non_unit_axis(self):
+        class BadAxis(RingPart):
+            def magnetic_axis_local(self):
+                return Vec3(0.0, 0.0, 2.0)
+
+        diags = check_component_model(BadAxis())
+        assert "CMP004" in _codes(diags)
+        assert any("2.0" in d.message for d in diags)
+
+
+class TestCmp005PathOutsideFootprint:
+    def test_oversized_current_path(self):
+        @dataclass
+        class Sprawler(RingPart):
+            part_number: str = "TEST-SPRAWL"
+            ring_radius: float = 0.05  # 50 mm ring on a 15 mm body
+
+        diags = check_component_model(Sprawler())
+        assert "CMP005" in _codes(diags)
+
+    def test_label_appears_in_object_path(self):
+        @dataclass
+        class Sprawler(RingPart):
+            ring_radius: float = 0.05
+
+        diags = check_component_model(Sprawler(), label="L9")
+        assert all(d.obj == "component:L9" for d in diags)

@@ -1,0 +1,106 @@
+"""Unit tests for the coupling analyzer (CPL0xx rules)."""
+
+from dataclasses import replace
+
+from repro.check import check_coupling_map, check_couplings, check_rule_couplings
+from repro.circuit import Circuit
+
+from conftest import build_small_problem
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def build_coupled_circuit(k: float = 0.1) -> Circuit:
+    c = Circuit("coupled")
+    c.add_vsource("V1", "in", "0", dc=1.0)
+    c.add_inductor("L1", "in", "a", 10e-6)
+    c.add_inductor("L2", "a", "0", 22e-6)
+    c.add_resistor("R1", "a", "0", 50.0)
+    c.add_coupling("K12", "L1", "L2", k)
+    return c
+
+
+class TestCircuitCouplings:
+    def test_moderate_coupling_is_clean(self):
+        assert check_couplings(build_coupled_circuit(0.1)) == []
+
+    def test_mutated_k_above_one(self):
+        # MutualCoupling validates at construction; the analyzer guards
+        # against later mutation (sensitivity probes, manual edits).
+        c = build_coupled_circuit(0.5)
+        c.couplings[0].k = 1.2
+        diags = check_couplings(c)
+        assert "CPL001" in _codes(diags)
+        assert any("1.2" in d.message for d in diags)
+
+    def test_near_unity_warning(self):
+        diags = check_couplings(build_coupled_circuit(0.99))
+        assert "CPL005" in _codes(diags)
+
+    def test_orphaned_coupling(self):
+        c = build_coupled_circuit()
+        c.couplings[0].inductor_b = "Lmissing"
+        diags = check_couplings(c)
+        assert "CPL002" in _codes(diags)
+        assert any("Lmissing" in d.message for d in diags)
+
+    def test_duplicate_pair(self):
+        c = build_coupled_circuit()
+        c.add_coupling("Kdup", "L2", "L1", 0.2)
+        diags = check_couplings(c)
+        assert "CPL003" in _codes(diags)
+        dup = [d for d in diags if d.code == "CPL003"][0]
+        assert "K12" in dup.message and "Kdup" in dup.message
+
+    def test_non_psd_matrix(self):
+        c = Circuit("triangle")
+        c.add_vsource("V1", "a", "0", dc=1.0)
+        for name, n1, n2 in (("L1", "a", "b"), ("L2", "b", "c"), ("L3", "c", "0")):
+            c.add_inductor(name, n1, n2, 10e-6)
+        # Three equal inductors all coupled at k = -0.9 store negative
+        # energy: the symmetric eigenvalue L (1 + 2k) goes negative.
+        c.add_coupling("K12", "L1", "L2", -0.9)
+        c.add_coupling("K13", "L1", "L3", -0.9)
+        c.add_coupling("K23", "L2", "L3", -0.9)
+        diags = check_couplings(c)
+        assert "CPL004" in _codes(diags)
+
+    def test_psd_skips_orphaned_couplings(self):
+        c = build_coupled_circuit(0.5)
+        c.couplings[0].inductor_b = "Lmissing"
+        codes = _codes(check_couplings(c))
+        assert "CPL002" in codes
+        assert "CPL004" not in codes
+
+
+class TestCouplingMap:
+    def test_clean_map(self):
+        assert check_coupling_map({("C1", "L1"): 0.02, ("L1", "L2"): -0.3}) == []
+
+    def test_out_of_range(self):
+        diags = check_coupling_map({("L1", "L2"): 1.5})
+        assert _codes(diags) == ["CPL001"]
+
+    def test_self_coupling(self):
+        diags = check_coupling_map({("L1", "L1"): 0.1})
+        assert _codes(diags) == ["CPL002"]
+
+    def test_near_unity(self):
+        diags = check_coupling_map({("L1", "L2"): -0.985})
+        assert _codes(diags) == ["CPL005"]
+
+
+class TestRuleCouplings:
+    def test_small_problem_rules_are_clean(self):
+        assert check_rule_couplings(build_small_problem()) == []
+
+    def test_k_threshold_above_one(self):
+        problem = build_small_problem()
+        problem.rules.min_distance[0] = replace(
+            problem.rules.min_distance[0], k_threshold=1.2
+        )
+        diags = check_rule_couplings(problem)
+        assert _codes(diags) == ["CPL001"]
+        assert "1.2" in diags[0].message

@@ -1,0 +1,156 @@
+"""Unit tests for the diagnostic vocabulary and the rule registry."""
+
+import json
+
+import pytest
+
+from repro.check import CheckReport, Diagnostic, Severity, finding, rule_specs, spec_for
+
+
+class TestSeverity:
+    def test_ordering_matches_exit_codes(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert int(Severity.INFO) == 0
+        assert int(Severity.WARNING) == 1
+        assert int(Severity.ERROR) == 2
+
+    def test_parse_case_insensitive(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse("INFO") is Severity.INFO
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def test_render_includes_code_obj_and_hint(self):
+        diag = Diagnostic(
+            "NET001",
+            Severity.ERROR,
+            "node 'sw' floats",
+            obj="circuit/node:sw",
+            hint="ground it",
+        )
+        text = diag.render()
+        assert "ERROR" in text
+        assert "NET001" in text
+        assert "circuit/node:sw" in text
+        assert "(hint: ground it)" in text
+
+    def test_render_without_obj_or_hint(self):
+        text = Diagnostic("CPL001", Severity.WARNING, "bad k").render()
+        assert "CPL001: bad k" in text
+        assert "hint" not in text
+
+    def test_to_dict_omits_empty_fields(self):
+        d = Diagnostic("NET002", Severity.WARNING, "dangling").to_dict()
+        assert d == {"code": "NET002", "severity": "warning", "message": "dangling"}
+
+    def test_frozen(self):
+        diag = Diagnostic("NET001", Severity.ERROR, "x")
+        with pytest.raises(AttributeError):
+            diag.code = "NET002"
+
+
+def _report(*severities: Severity) -> CheckReport:
+    report = CheckReport(subject="unit")
+    report.extend(
+        [Diagnostic(f"NET00{i + 1}", sev, f"m{i}") for i, sev in enumerate(severities)],
+        "netlist",
+    )
+    return report
+
+
+class TestCheckReport:
+    def test_empty_report_is_clean(self):
+        report = CheckReport()
+        assert report.is_clean()
+        assert report.max_severity is Severity.INFO
+        assert report.exit_code() == 0
+        assert len(report) == 0
+
+    def test_max_severity_and_counts(self):
+        report = _report(Severity.WARNING, Severity.ERROR, Severity.ERROR)
+        assert report.max_severity is Severity.ERROR
+        assert report.count(Severity.ERROR) == 2
+        assert report.count(Severity.WARNING) == 1
+        assert len(report.errors()) == 2
+        assert len(report.warnings()) == 1
+        assert not report.is_clean()
+
+    def test_exit_code_gated_by_fail_on(self):
+        warn_only = _report(Severity.WARNING)
+        assert warn_only.exit_code(Severity.WARNING) == 1
+        assert warn_only.exit_code(Severity.ERROR) == 0
+        errors = _report(Severity.ERROR)
+        assert errors.exit_code(Severity.ERROR) == 2
+        assert errors.exit_code(Severity.WARNING) == 2
+
+    def test_codes_and_by_code(self):
+        report = _report(Severity.WARNING, Severity.ERROR)
+        assert report.codes() == {"NET001", "NET002"}
+        assert [d.message for d in report.by_code("NET002")] == ["m1"]
+
+    def test_extend_records_each_analyzer_once(self):
+        report = CheckReport()
+        report.extend([], "netlist")
+        report.extend([], "netlist")
+        report.extend([], "coupling")
+        assert report.analyzers == ["netlist", "coupling"]
+
+    def test_text_lists_every_finding(self):
+        report = _report(Severity.WARNING, Severity.ERROR)
+        text = report.text()
+        assert text.startswith("check: unit")
+        assert "NET001" in text and "NET002" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_json_roundtrip_schema(self):
+        report = _report(Severity.ERROR)
+        data = json.loads(report.to_json())
+        assert data["schema"] == "repro-check-report/1"
+        assert data["max_severity"] == "error"
+        assert data["counts"] == {"error": 1, "warning": 0, "info": 0}
+        assert data["diagnostics"][0]["code"] == "NET001"
+
+    def test_iteration(self):
+        report = _report(Severity.WARNING, Severity.ERROR)
+        assert [d.code for d in report] == ["NET001", "NET002"]
+
+
+class TestRegistry:
+    def test_catalogue_is_consistent(self):
+        specs = rule_specs()
+        assert len(specs) >= 15
+        codes = [s.code for s in specs]
+        assert len(codes) == len(set(codes)), "rule codes must be unique"
+        for spec in specs:
+            assert spec.code[:3] in {"NET", "CPL", "PLC", "CMP"}
+            assert spec.code[3:].isdigit()
+            assert spec.title and spec.rationale
+            assert spec.category in {"netlist", "coupling", "placement", "component"}
+
+    def test_every_category_present(self):
+        categories = {s.category for s in rule_specs()}
+        assert categories == {"netlist", "coupling", "placement", "component"}
+
+    def test_spec_for_known_and_unknown(self):
+        spec = spec_for("NET001")
+        assert spec.severity is Severity.ERROR
+        with pytest.raises(KeyError):
+            spec_for("XXX999")
+
+    def test_finding_uses_registered_severity(self):
+        diag = finding("NET001", "boom", obj="circuit/node:x")
+        assert diag.severity is Severity.ERROR
+        assert diag.code == "NET001"
+
+    def test_finding_severity_override(self):
+        diag = finding("NET001", "soft", severity=Severity.INFO)
+        assert diag.severity is Severity.INFO
+
+    def test_finding_rejects_unregistered_code(self):
+        with pytest.raises(KeyError):
+            finding("NET999", "nope")

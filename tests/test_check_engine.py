@@ -1,0 +1,139 @@
+"""Tests for the check engine, its observability and the flow precheck gate."""
+
+import pytest
+
+from repro import obs
+from repro.check import DesignCheckError, Severity, run_checks
+from repro.converters import BuckConverterDesign
+from repro.core import EmiDesignFlow
+from repro.geometry import Cuboid, Rect
+from repro.placement import Keepout3D
+
+from conftest import build_small_problem
+from test_check_netlist import build_clean_circuit
+
+
+def _blanket(problem):
+    xmin, ymin, xmax, ymax = problem.boards[0].outline.bbox()
+    return Keepout3D("blanket", Cuboid(Rect(xmin, ymin, xmax, ymax), 0.0, 0.05))
+
+
+class TestRunChecksDispatch:
+    def test_problem_only(self):
+        report = run_checks(problem=build_small_problem(), subject="p")
+        assert report.is_clean()
+        assert report.analyzers == ["netlist", "coupling", "placement", "component"]
+        assert report.subject == "p"
+
+    def test_circuit_only(self):
+        report = run_checks(circuit=build_clean_circuit())
+        assert report.is_clean()
+        assert report.analyzers == ["netlist", "coupling"]
+
+    def test_coupling_map_only(self):
+        report = run_checks(couplings={("L1", "L2"): 2.0})
+        assert report.analyzers == ["coupling"]
+        assert report.codes() == {"CPL001"}
+
+    def test_nothing_to_check(self):
+        report = run_checks()
+        assert report.is_clean()
+        assert report.analyzers == []
+
+    def test_combined_inputs(self):
+        circuit = build_clean_circuit()
+        circuit.add_resistor("Rstub", "out", "nowhere", 1.0)
+        problem = build_small_problem()
+        problem.boards[0].keepouts.append(_blanket(problem))
+        report = run_checks(problem=problem, circuit=circuit)
+        assert {"NET002", "PLC002"} <= report.codes()
+
+
+class TestObservability:
+    def test_spans_and_counters_recorded(self):
+        problem = build_small_problem()
+        problem.boards[0].keepouts.append(_blanket(problem))
+        tracer = obs.enable(meta={"test": "check"})
+        try:
+            run_checks(problem=problem)
+        finally:
+            obs.disable()
+        run_span = tracer.root.find("check.run")
+        assert run_span is not None
+        child_names = set(run_span.children)
+        assert {
+            "check.netlist",
+            "check.coupling",
+            "check.placement",
+            "check.components",
+        } <= child_names
+        counters = tracer.root.total_counters()
+        assert counters.get("check.diagnostics", 0) >= 2
+        assert counters.get("check.errors", 0) >= 1
+
+
+class TestDesignCheckError:
+    def test_message_summarises_errors(self):
+        problem = build_small_problem()
+        problem.boards[0].keepouts.append(_blanket(problem))
+        report = run_checks(problem=problem)
+        error = DesignCheckError(report)
+        assert error.report is report
+        assert "PLC002" in str(error)
+        assert "error(s)" in str(error)
+
+
+class TestFlowPrecheck:
+    def test_clean_design_passes_and_caches(self):
+        flow = EmiDesignFlow(BuckConverterDesign(), precheck=True)
+        report = flow.run_precheck()
+        assert not report.errors()
+        assert flow.run_precheck() is report  # cached
+
+    def test_gate_off_by_default(self):
+        flow = EmiDesignFlow(BuckConverterDesign())
+        assert flow.precheck is False
+        flow.predict()  # must not run (or fail on) any check
+        assert flow._precheck_report is None
+
+    def test_gate_blocks_broken_design(self):
+        flow = EmiDesignFlow(BuckConverterDesign(), precheck=True)
+
+        original = flow.design.placement_problem
+
+        def broken():
+            problem = original()
+            problem.boards[0].keepouts.append(_blanket(problem))
+            return problem
+
+        flow.design.placement_problem = broken
+        try:
+            with pytest.raises(DesignCheckError) as excinfo:
+                flow.predict()
+        finally:
+            flow.design.placement_problem = original
+        assert excinfo.value.report.count(Severity.ERROR) >= 1
+        assert "PLC002" in excinfo.value.report.codes()
+
+    def test_gate_guards_every_entry_point(self):
+        flow = EmiDesignFlow(BuckConverterDesign(), precheck=True)
+
+        original = flow.design.placement_problem
+
+        def broken():
+            problem = original()
+            problem.boards[0].keepouts.append(_blanket(problem))
+            return problem
+
+        flow.design.placement_problem = broken
+        try:
+            for method in (
+                flow.run_sensitivity,
+                flow.place_baseline,
+                flow.place_optimized,
+            ):
+                flow._precheck_report = None
+                with pytest.raises(DesignCheckError):
+                    method()
+        finally:
+            flow.design.placement_problem = original

@@ -1,0 +1,104 @@
+"""The linter over every shipped design — and the corrupted-board scenario.
+
+Two guarantees:
+
+* everything the repository ships (example board files, converter
+  fixtures, the Fig. 9 demo board) is diagnostic-clean, so a user's first
+  contact with ``repro-emi check`` is a green run;
+* seeded defects are reliably caught with their stable rule codes and a
+  nonzero exit status.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import Severity, run_checks
+from repro.cli import main
+from repro.converters import (
+    BoostConverterDesign,
+    BuckConverterDesign,
+    build_demo_board,
+)
+from repro.geometry import Cuboid, Rect
+from repro.io import read_problem
+from repro.placement import Keepout3D, Net
+
+BOARDS_DIR = Path(__file__).parent.parent / "examples" / "boards"
+BOARD_FILES = sorted(p.name for p in BOARDS_DIR.glob("*.txt"))
+
+
+class TestShippedBoardsClean:
+    def test_boards_directory_is_populated(self):
+        assert len(BOARD_FILES) >= 2
+
+    @pytest.mark.parametrize("name", BOARD_FILES)
+    def test_board_file_checks_clean(self, name):
+        problem = read_problem((BOARDS_DIR / name).read_text())
+        report = run_checks(problem=problem, subject=name)
+        assert report.is_clean(), report.text()
+
+    @pytest.mark.parametrize("name", BOARD_FILES)
+    def test_board_file_clean_through_cli(self, name, capsys):
+        assert main(["check", str(BOARDS_DIR / name)]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+class TestConverterFixturesClean:
+    def test_demo_board_problem(self):
+        report = run_checks(problem=build_demo_board(), subject="demo board")
+        assert report.is_clean(), report.text()
+
+    @pytest.mark.parametrize("design_cls", [BuckConverterDesign, BoostConverterDesign])
+    def test_converter_circuit_and_problem(self, design_cls):
+        design = design_cls()
+        circuit, _meas = design.emi_circuit()
+        report = run_checks(circuit=circuit, subject=design_cls.__name__)
+        assert not report.errors(), report.text()
+        problem_report = run_checks(
+            problem=design.placement_problem(), subject=design_cls.__name__
+        )
+        assert not problem_report.errors(), problem_report.text()
+
+
+class TestCorruptedDemoBoard:
+    """The acceptance scenario: three seeded defects, three rule codes."""
+
+    @pytest.fixture
+    def corrupted(self):
+        problem = build_demo_board()
+        # Defect 1: a rule claiming a coupling threshold k = 1.2.
+        from dataclasses import replace
+
+        problem.rules.min_distance[0] = replace(
+            problem.rules.min_distance[0], k_threshold=1.2
+        )
+        # Defect 2: a net left floating (single pin).
+        problem.nets.append(Net(name="FLOAT", pins=[("L1", "1")]))
+        # Defect 3: a keepout covering the whole board.
+        xmin, ymin, xmax, ymax = problem.boards[0].outline.bbox()
+        problem.boards[0].keepouts.append(
+            Keepout3D("blanket", Cuboid(Rect(xmin, ymin, xmax, ymax), 0.0, 0.05))
+        )
+        return problem
+
+    def test_all_three_defects_reported(self, corrupted):
+        report = run_checks(problem=corrupted, subject="corrupted demo")
+        assert {"CPL001", "NET002", "PLC002"} <= report.codes()
+        assert report.max_severity is Severity.ERROR
+
+    def test_nonzero_exit_code(self, corrupted):
+        report = run_checks(problem=corrupted)
+        assert report.exit_code(Severity.ERROR) == 2
+        assert report.exit_code(Severity.WARNING) == 2
+
+    def test_defects_survive_board_file_roundtrip(self, corrupted, tmp_path, capsys):
+        from repro.io import write_problem
+
+        path = tmp_path / "corrupted.txt"
+        path.write_text(write_problem(corrupted, title="corrupted demo"))
+        code = main(["check", str(path), "--fail-on", "error"])
+        assert code == 2
+        out = capsys.readouterr().out
+        for rule_code in ("CPL001", "NET002", "PLC002"):
+            assert rule_code in out

@@ -1,0 +1,139 @@
+"""Unit tests for the netlist analyzer (NET0xx rules)."""
+
+from repro.check import check_netlist, check_problem_nets
+from repro.circuit import Circuit
+
+from conftest import build_small_problem
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def build_clean_circuit() -> Circuit:
+    c = Circuit("clean")
+    c.add_vsource("V1", "in", "0", dc=12.0)
+    c.add_inductor("L1", "in", "sw", 10e-6)
+    c.add_resistor("R1", "sw", "out", 1.0)
+    c.add_capacitor("C1", "out", "0", 1e-6)
+    c.add_resistor("Rload", "out", "0", 50.0)
+    return c
+
+
+class TestCleanCircuit:
+    def test_no_findings(self):
+        assert check_netlist(build_clean_circuit()) == []
+
+    def test_ground_aliases_are_canonical(self):
+        c = Circuit("alias")
+        c.add_vsource("V1", "in", "GND", dc=1.0)
+        c.add_resistor("R1", "in", "0", 10.0)
+        # 'GND' and '0' are the same node: no floating, no dangling.
+        assert check_netlist(c) == []
+
+
+class TestFloatingNodes:
+    def test_capacitor_only_island_floats(self):
+        c = build_clean_circuit()
+        # A node connected solely through a capacitor has no DC return.
+        c.add_capacitor("Cx", "sw", "island", 1e-9)
+        c.add_capacitor("Cy", "island", "0", 1e-9)
+        diags = check_netlist(c)
+        assert "NET001" in _codes(diags)
+        flagged = [d for d in diags if d.code == "NET001"]
+        assert any("island" in d.message for d in flagged)
+
+    def test_resistor_path_grounds_the_node(self):
+        c = build_clean_circuit()
+        c.add_capacitor("Cx", "sw", "island", 1e-9)
+        c.add_resistor("Rb", "island", "0", 1e6)
+        assert not [d for d in check_netlist(c) if d.code == "NET001"]
+
+
+class TestDanglingNodes:
+    def test_single_terminal_node(self):
+        c = build_clean_circuit()
+        c.add_resistor("Rstub", "out", "nowhere", 10.0)
+        diags = [d for d in check_netlist(c) if d.code == "NET002"]
+        assert len(diags) == 1
+        assert "nowhere" in diags[0].message
+        assert diags[0].obj == "circuit/node:nowhere"
+
+
+class TestShortedSources:
+    def test_source_across_ground_aliases(self):
+        c = Circuit("short")
+        c.add_vsource("V1", "0", "GND", dc=5.0)
+        c.add_resistor("R1", "0", "a", 1.0)
+        c.add_resistor("R2", "a", "0", 1.0)
+        diags = [d for d in check_netlist(c) if d.code == "NET003"]
+        assert len(diags) == 1
+        assert "V1" in diags[0].message
+
+    def test_parallel_sources(self):
+        c = Circuit("parallel")
+        c.add_vsource("V1", "in", "0", dc=5.0)
+        c.add_vsource("V2", "0", "in", dc=3.0)
+        c.add_resistor("R1", "in", "0", 1.0)
+        diags = [d for d in check_netlist(c) if d.code == "NET003"]
+        assert len(diags) == 1
+        assert "V1" in diags[0].message and "V2" in diags[0].message
+
+    def test_series_sources_are_fine(self):
+        c = Circuit("series")
+        c.add_vsource("V1", "in", "mid", dc=5.0)
+        c.add_vsource("V2", "mid", "0", dc=5.0)
+        c.add_resistor("R1", "in", "0", 1.0)
+        assert not [d for d in check_netlist(c) if d.code == "NET003"]
+
+
+class TestGroundReference:
+    def test_ungrounded_circuit(self):
+        c = Circuit("nogride")
+        c.add_vsource("V1", "a", "b", dc=1.0)
+        c.add_resistor("R1", "a", "b", 1.0)
+        diags = check_netlist(c)
+        assert "NET004" in _codes(diags)
+        # Every non-ground node also fails the reachability walk.
+        assert "NET001" in _codes(diags)
+
+    def test_empty_circuit_has_no_findings(self):
+        assert check_netlist(Circuit("empty")) == []
+
+
+class TestValueMagnitudes:
+    def test_farad_scale_capacitor_flagged(self):
+        c = build_clean_circuit()
+        c.add_capacitor("Cbig", "out", "0", 4.7)  # 4.7 F: surely meant uF
+        diags = [d for d in check_netlist(c) if d.code == "NET005"]
+        assert len(diags) == 1
+        assert "Cbig" in diags[0].message
+
+    def test_teraohm_resistance_flagged(self):
+        c = build_clean_circuit()
+        c.add_resistor("Rhuge", "out", "0", 1e12)  # 1 Tohm: not a board part
+        assert [d.code for d in check_netlist(c) if d.code == "NET005"] == ["NET005"]
+
+    def test_board_level_values_pass(self):
+        c = build_clean_circuit()
+        c.add_inductor("Lp", "out", "0", 5e-9)  # 5 nH trace parasitic
+        assert not [d for d in check_netlist(c) if d.code == "NET005"]
+
+
+class TestProblemNets:
+    def test_small_problem_nets_are_clean(self):
+        assert check_problem_nets(build_small_problem()) == []
+
+    def test_single_pin_net(self):
+        problem = build_small_problem()
+        problem.add_net("NC", [("C1", "2")])
+        diags = check_problem_nets(problem)
+        assert _codes(diags) == ["NET002"]
+        assert "NC" in diags[0].message
+
+    def test_empty_net(self):
+        problem = build_small_problem()
+        problem.add_net("VOID", [])
+        diags = check_problem_nets(problem)
+        assert _codes(diags) == ["NET002"]
+        assert "(none)" in diags[0].message

@@ -81,3 +81,46 @@ class TestPairwise:
         k_shld = abs(shielded_db.coupling(x2_cap, pa, other, pb).k)
         assert k_shld != pytest.approx(k_free, rel=0.05)
         assert shielded_db.coupling(x2_cap, pa, other, pb).shielded
+
+
+class TestResultValidation:
+    """|k| <= 1 is enforced at insertion (rule CPL001, see docs/CHECKS.md)."""
+
+    def _doctored(self, monkeypatch, k: float):
+        from repro.coupling import database as database_module
+        from repro.coupling.pair import CouplingResult
+
+        def fake(comp_a, pa, comp_b, pb, ground_plane_z, order):
+            return CouplingResult(
+                k=k, mutual_h=1e-9, self_a_h=1e-8, self_b_h=1e-8, shielded=False
+            )
+
+        monkeypatch.setattr(database_module, "component_coupling", fake)
+
+    def test_marginal_overshoot_is_clamped(self, x2_cap, monkeypatch):
+        self._doctored(monkeypatch, 1.005)
+        db = CouplingDatabase()
+        res = db.coupling(x2_cap, Placement2D.at(0, 0), x2_cap, Placement2D.at(0.03, 0))
+        assert res.k == 1.0
+
+    def test_negative_overshoot_clamps_to_minus_one(self, x2_cap, monkeypatch):
+        self._doctored(monkeypatch, -1.01)
+        db = CouplingDatabase()
+        res = db.coupling(x2_cap, Placement2D.at(0, 0), x2_cap, Placement2D.at(0.03, 0))
+        assert res.k == -1.0
+
+    def test_gross_violation_is_rejected(self, x2_cap, monkeypatch):
+        self._doctored(monkeypatch, 1.2)
+        db = CouplingDatabase()
+        with pytest.raises(ValueError, match=r"CPL001") as excinfo:
+            db.coupling(x2_cap, Placement2D.at(0, 0), x2_cap, Placement2D.at(0.03, 0))
+        assert "1.2" in str(excinfo.value)
+        assert db.cache_size() == 0  # nothing poisoned the cache
+
+    def test_physical_results_pass_through(self, x2_cap):
+        db = CouplingDatabase()
+        res = db.coupling(
+            x2_cap, Placement2D.at(0, 0), FilmCapacitorX2(), Placement2D.at(0.03, 0)
+        )
+        assert abs(res.k) <= 1.0
+        assert db.cache_size() == 1

@@ -47,7 +47,7 @@ class TestRotationSweep:
         angles = np.array([0.0, 30.0, 60.0, 90.0])
         ks = rotation_sweep(x2_cap, FilmCapacitorX2(), 0.025, angles)
         k0 = abs(ks[0])
-        for angle, k in zip(angles, ks):
+        for angle, k in zip(angles, ks, strict=True):
             assert abs(k) <= k0 * abs(np.cos(np.radians(angle))) + 1e-4
         assert abs(ks[-1]) < 1e-6
 

@@ -44,9 +44,8 @@ class TestSpanTree:
 
     def test_child_time_within_parent(self):
         tracer = Tracer()
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                time.sleep(0.005)
+        with tracer.span("outer"), tracer.span("inner"):
+            time.sleep(0.005)
         outer = tracer.root.children["outer"]
         assert outer.wall_s >= outer.children["inner"].wall_s
 
@@ -59,9 +58,8 @@ class TestSpanTree:
 
     def test_span_reentrant_after_exception(self):
         tracer = Tracer()
-        with pytest.raises(RuntimeError):
-            with tracer.span("boom"):
-                raise RuntimeError("x")
+        with pytest.raises(RuntimeError), tracer.span("boom"):
+            raise RuntimeError("x")
         # The stack unwound: new spans land at the root again.
         with tracer.span("after"):
             pass
@@ -69,9 +67,8 @@ class TestSpanTree:
 
     def test_find_searches_depth_first(self):
         tracer = Tracer()
-        with tracer.span("a"):
-            with tracer.span("needle"):
-                pass
+        with tracer.span("a"), tracer.span("needle"):
+            pass
         assert tracer.root.find("needle") is tracer.root.children["a"].children["needle"]
         assert tracer.root.find("missing") is None
 

@@ -101,7 +101,7 @@ class TestEmdMetrics:
         # Spread far beyond every PEMD.
         positions = [(0.01, 0.01), (0.07, 0.01), (0.01, 0.05), (0.07, 0.05),
                      (0.04, 0.03), (0.01, 0.03), (0.07, 0.03)]
-        for (x, y), comp in zip(positions, problem.components.values()):
+        for (x, y), comp in zip(positions, problem.components.values(), strict=True):
             comp.placement = Placement2D.at(x, y)
         # All PEMDs are <= 35 mm and the layout spreads up to 60 mm; slack
         # may not be exactly zero for every pair, so check consistency:

@@ -52,10 +52,7 @@ def random_problems(draw):
         [Board(0, Polygon2D.rectangle(0.0, 0.0, 0.12, 0.1))]
     )
     for i in range(n):
-        if draw(st.booleans()):
-            comp = FilmCapacitorX2()
-        else:
-            comp = small_bobbin_choke()
+        comp = FilmCapacitorX2() if draw(st.booleans()) else small_bobbin_choke()
         problem.add_component(PlacedComponent(f"U{i}", comp))
     rules = []
     for i in range(n):
