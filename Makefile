@@ -1,0 +1,29 @@
+# Development entry points.  CI runs the same commands (.github/workflows/ci.yml).
+#
+# ruff and mypy are optional-but-expected dev tools; physlint ships with the
+# package itself, so `make physlint` works in any environment that runs the code.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint ruff mypy physlint physlint-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full static gate: style (ruff) + types (mypy) + physics lint (physlint).
+lint: ruff mypy physlint
+
+ruff:
+	ruff check src/ tests/ examples/ benchmarks/
+
+mypy:
+	mypy src/repro
+
+physlint:
+	$(PYTHON) -m repro.cli lint-src src/repro
+
+## Re-accept all current findings (review the diff before committing!).
+physlint-baseline:
+	$(PYTHON) -m repro.cli lint-src src/repro --no-baseline \
+		--write-baseline src/repro/lint/physlint_baseline.json

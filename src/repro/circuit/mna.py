@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs import get_tracer
+from ..units import approx_zero
 from .elements import (
     GROUND_NAMES,
     Capacitor,
@@ -36,6 +37,20 @@ __all__ = ["AcSolution", "AcSweepResult", "MnaSystem", "SingularCircuitError"]
 
 class SingularCircuitError(RuntimeError):
     """The MNA matrix is singular; the message names the likely culprits."""
+
+
+def _conductance(resistance: float, name: str) -> float:
+    """``1/R`` for a resistive stamp, rejecting an (approximately) zero R.
+
+    A zero resistance would stamp an infinite conductance and surface much
+    later as a confusing singular-matrix failure; fail at assembly instead.
+    """
+    if approx_zero(resistance):
+        raise SingularCircuitError(
+            f"element {name!r} has (near-)zero resistance {resistance!r}; "
+            "use an ideal source or a small finite resistance instead"
+        )
+    return 1.0 / resistance
 
 
 @dataclass
@@ -140,12 +155,12 @@ class MnaSystem:
 
         for e in self.circuit.elements:
             if isinstance(e, Resistor):
-                self._stamp_conductance(g, e.n1, e.n2, 1.0 / e.resistance)
+                self._stamp_conductance(g, e.n1, e.n2, _conductance(e.resistance, e.name))
             elif isinstance(e, Switch):
-                self._stamp_conductance(g, e.n1, e.n2, 1.0 / e.ac_resistance())
+                self._stamp_conductance(g, e.n1, e.n2, _conductance(e.ac_resistance(), e.name))
             elif isinstance(e, IdealDiode):
                 r = e.r_on if e.ac_state == "on" else e.r_off
-                self._stamp_conductance(g, e.n1, e.n2, 1.0 / r)
+                self._stamp_conductance(g, e.n1, e.n2, _conductance(r, e.name))
             elif isinstance(e, Capacitor):
                 i, j = self._node(e.n1), self._node(e.n2)
                 if i is not None:
@@ -169,7 +184,7 @@ class MnaSystem:
                 g[j, row] -= 1.0
                 g[row, j] -= 1.0
             for m in range(self.n_ind):
-                if lmat[b, m] != 0.0:
+                if not approx_zero(lmat[b, m]):
                     s[row, self.n_nodes + m] -= lmat[b, m]
 
         # Voltage-source branches: V(n1) - V(n2) = E.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import re
 
+from ..units import approx_zero
 from .netlist import Circuit
 
 __all__ = ["parse_value", "parse_netlist", "format_netlist"]
@@ -93,7 +94,7 @@ def parse_netlist(text: str, title: str = "") -> Circuit:
                 esl = kwargs.pop("esl", 0.0)
                 if kwargs:
                     raise ValueError(f"unknown keywords {sorted(kwargs)}")
-                if esr == 0.0 and esl == 0.0:
+                if approx_zero(esr) and approx_zero(esl):
                     circuit.add_capacitor(card, tokens[1], tokens[2], parse_value(tokens[3]))
                 else:
                     circuit.add_real_capacitor(
@@ -105,7 +106,7 @@ def parse_netlist(text: str, title: str = "") -> Circuit:
                 epc = kwargs.pop("epc", 0.0)
                 if kwargs:
                     raise ValueError(f"unknown keywords {sorted(kwargs)}")
-                if esr == 0.0 and epc == 0.0:
+                if approx_zero(esr) and approx_zero(epc):
                     circuit.add_inductor(card, tokens[1], tokens[2], parse_value(tokens[3]))
                 else:
                     circuit.add_real_inductor(

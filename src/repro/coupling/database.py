@@ -16,6 +16,7 @@ from ..check.limits import COUPLING_CLAMP_TOLERANCE
 from ..components import Component
 from ..geometry import Placement2D
 from ..obs import get_tracer
+from ..units import Dimensionless, Meters
 from .pair import CouplingResult, component_coupling
 
 __all__ = ["CacheStats", "CouplingDatabase"]
@@ -92,8 +93,8 @@ class CacheStats:
         return self.hits + self.misses
 
     @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0 when unused)."""
+    def hit_rate(self) -> Dimensionless:
+        """Fraction of lookups served from the cache [-] (0 when unused)."""
         total = self.lookups
         return self.hits / total if total else 0.0
 
@@ -103,11 +104,13 @@ class CouplingDatabase:
     """Caching front-end for :func:`component_coupling`.
 
     Attributes:
-        ground_plane_z: shared shielding-plane height (None = no plane).
-        order: quadrature order passed to the field computation.
+        ground_plane_z: shared shielding-plane height [m] above the board
+            (``None`` = no plane, no image currents).
+        order: Gauss–Legendre quadrature order passed to the field
+            computation (dimensionless count, not a physical quantity).
     """
 
-    ground_plane_z: float | None = None
+    ground_plane_z: Meters | None = None
     order: int = 8
     _cache: dict[tuple, CouplingResult] = field(default_factory=dict)
     hits: int = 0
@@ -120,7 +123,18 @@ class CouplingDatabase:
         comp_b: Component,
         placement_b: Placement2D,
     ) -> CouplingResult:
-        """Coupling for a placed pair, cached by relative pose."""
+        """Coupling for a placed pair, cached by relative pose.
+
+        Args:
+            comp_a, comp_b: the components (field models in their local
+                frames; linear dimensions in metres).
+            placement_a, placement_b: board placements (positions [m],
+                rotations [rad]).
+
+        Returns:
+            The validated :class:`CouplingResult` — coupling factor ``k``
+            [-], mutual and self inductances [H].
+        """
         tracer = get_tracer()
         key = _relative_key(comp_a, placement_a, comp_b, placement_b)
         cached = self._cache.get(key)

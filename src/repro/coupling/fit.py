@@ -19,6 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize
 
+from ..units import Dimensionless, Meters
+
 __all__ = ["PowerLawFit", "fit_power_law"]
 
 
@@ -36,7 +38,7 @@ class PowerLawFit:
         result = self.c * d ** (-self.n)
         return float(result) if np.ndim(distance) == 0 else result
 
-    def distance_for_coupling(self, k_target: float) -> float:
+    def distance_for_coupling(self, k_target: Dimensionless) -> Meters:
         """Distance at which the coupling falls to ``k_target`` (the PEMD).
 
         Raises:

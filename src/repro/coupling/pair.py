@@ -19,6 +19,7 @@ from ..peec import (
     mutual_inductance_paths_fast,
     with_ground_plane,
 )
+from ..units import Dimensionless, Henries, Meters
 
 __all__ = ["CouplingResult", "component_coupling", "pair_coupling_factor"]
 
@@ -27,14 +28,14 @@ __all__ = ["CouplingResult", "component_coupling", "pair_coupling_factor"]
 class CouplingResult:
     """Outcome of one field simulation of a component pair."""
 
-    k: float
-    mutual_h: float
-    self_a_h: float
-    self_b_h: float
+    k: Dimensionless
+    mutual_h: Henries
+    self_a_h: Henries
+    self_b_h: Henries
     shielded: bool
 
     @property
-    def k_abs(self) -> float:
+    def k_abs(self) -> Dimensionless:
         """Unsigned coupling factor (what distance rules compare against)."""
         return abs(self.k)
 
@@ -44,7 +45,7 @@ def component_coupling(
     placement_a: Placement2D,
     comp_b: Component,
     placement_b: Placement2D,
-    ground_plane_z: float | None = None,
+    ground_plane_z: Meters | None = None,
     order: int = 8,
 ) -> CouplingResult:
     """Full PEEC coupling computation for a placed component pair.
@@ -104,8 +105,8 @@ def pair_coupling_factor(
     placement_a: Placement2D,
     comp_b: Component,
     placement_b: Placement2D,
-    ground_plane_z: float | None = None,
-) -> float:
+    ground_plane_z: Meters | None = None,
+) -> Dimensionless:
     """Shorthand returning just the signed k."""
     return component_coupling(
         comp_a, placement_a, comp_b, placement_b, ground_plane_z

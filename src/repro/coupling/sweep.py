@@ -18,6 +18,7 @@ import numpy as np
 from ..components import Component
 from ..geometry import Placement2D, Vec2
 from ..obs import get_tracer
+from ..units import Degrees, Meters
 from .pair import component_coupling
 
 __all__ = ["distance_sweep", "rotation_sweep", "angular_position_sweep"]
@@ -27,10 +28,10 @@ def distance_sweep(
     comp_a: Component,
     comp_b: Component,
     distances: np.ndarray,
-    rotation_a_deg: float = 0.0,
-    rotation_b_deg: float = 0.0,
-    direction_deg: float = 0.0,
-    ground_plane_z: float | None = None,
+    rotation_a_deg: Degrees = 0.0,
+    rotation_b_deg: Degrees = 0.0,
+    direction_deg: Degrees = 0.0,
+    ground_plane_z: Meters | None = None,
 ) -> np.ndarray:
     """|k| versus centre-to-centre distance.
 
@@ -62,10 +63,10 @@ def distance_sweep(
 def rotation_sweep(
     comp_a: Component,
     comp_b: Component,
-    distance: float,
+    distance: Meters,
     angles_deg: np.ndarray,
-    rotation_a_deg: float = 0.0,
-    ground_plane_z: float | None = None,
+    rotation_a_deg: Degrees = 0.0,
+    ground_plane_z: Meters | None = None,
 ) -> np.ndarray:
     """Signed k versus the rotation of component B at a fixed distance.
 
@@ -91,11 +92,11 @@ def rotation_sweep(
 def angular_position_sweep(
     source: Component,
     victim: Component,
-    radius: float,
+    radius: Meters,
     angles_deg: np.ndarray,
     victim_faces_source: bool = True,
-    victim_rotation_deg: float = 0.0,
-    ground_plane_z: float | None = None,
+    victim_rotation_deg: Degrees = 0.0,
+    ground_plane_z: Meters | None = None,
 ) -> np.ndarray:
     """|k| versus the victim's angular position around a fixed source.
 

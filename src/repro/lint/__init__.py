@@ -1,0 +1,49 @@
+"""repro.lint — physics-aware static analysis of the codebase ("physlint").
+
+Where :mod:`repro.check` validates *designs* (netlists, coupling data,
+placement constraints), this package validates the *code that computes
+them*: a custom AST analyzer with two rule families —
+
+* **unit-dimension inference** (UNT001–UNT006): the :mod:`repro.units`
+  ``Annotated`` aliases on public physics APIs seed a per-scope
+  dimension environment; mixed-unit arithmetic, comparisons, call
+  arguments, returns and rebindings are flagged (m + mm, H vs nH,
+  degrees into a radian API);
+* **numerical robustness / API hygiene** (NUM001–NUM005, API001–API002):
+  exact float equality, unguarded division, sqrt/log of differences,
+  plain ``sum()`` in PEEC kernels, mutable defaults, module-global
+  state.
+
+Entry points:
+
+* :func:`lint_paths` — analyze files/directories, returns a
+  :class:`LintResult` wrapping a :class:`~repro.check.diagnostics.CheckReport`;
+* ``repro-emi lint-src`` — the CLI front-end (text/JSON output,
+  ``--fail-on``, ``--baseline`` / ``--write-baseline``);
+* ``python -m repro.lint`` — shorthand for the CLI subcommand.
+
+Findings are waived either inline (``# physlint: disable=CODE``, per
+line or per file) or via the checked-in baseline
+(:data:`~repro.lint.baseline.DEFAULT_BASELINE_PATH`).  Rule catalogue:
+``docs/PHYSLINT.md``.
+"""
+
+from .base import LintFinding
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .engine import LintResult, default_target, lint_paths, lint_sources
+from .registry import lint_rule_specs, lint_spec_for
+from .suppress import Suppressions, scan_suppressions
+
+__all__ = [
+    "LintFinding",
+    "LintResult",
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "lint_paths",
+    "lint_sources",
+    "default_target",
+    "lint_rule_specs",
+    "lint_spec_for",
+    "Suppressions",
+    "scan_suppressions",
+]

@@ -1,0 +1,20 @@
+"""``python -m repro.lint`` — shorthand for ``repro-emi lint-src``.
+
+Forwards all arguments, so ``python -m repro.lint --format json`` is
+exactly ``repro-emi lint-src --format json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the lint-src subcommand with the given arguments."""
+    from ..cli import main as cli_main
+
+    return cli_main(["lint-src", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""The physlint baseline: accepted findings, checked in next to the code.
+
+A baseline lets the analyzer gate *new* findings in CI while the team
+burns down the old ones.  Entries are keyed on ``(file, code, symbol)``
+rather than line numbers — refactoring inside a function must not
+invalidate the waiver, while moving the offending code to another
+function (or growing *more* of the same offence in the same function)
+must surface it again.  Hence every entry carries a ``count``: the
+baseline forgives at most that many findings per key.
+
+The file format is a small JSON document (``physlint-baseline/1``); the
+shipped tree's baseline lives at :data:`DEFAULT_BASELINE_PATH` inside the
+package so that ``repro-emi lint-src`` finds it from any working
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import LintFinding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+#: The checked-in baseline of the shipped tree.
+DEFAULT_BASELINE_PATH = Path(__file__).with_name("physlint_baseline.json")
+
+_SCHEMA = "physlint-baseline/1"
+
+
+@dataclass
+class Baseline:
+    """Waived finding counts keyed by ``(file, code, symbol)``."""
+
+    budgets: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[LintFinding]) -> Baseline:
+        """Baseline that waives exactly the given findings."""
+        counts = Counter(finding.baseline_key() for finding in findings)
+        return cls(budgets=dict(counts))
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Read a baseline document.
+
+        Raises:
+            ValueError: for an unrecognised schema or malformed entries.
+        """
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path}: not valid JSON: {exc}") from exc
+        if not isinstance(document, dict) or document.get("schema") != _SCHEMA:
+            raise ValueError(f"baseline {path}: expected schema {_SCHEMA!r}")
+        budgets: dict[tuple[str, str, str], int] = {}
+        for entry in document.get("entries", []):
+            try:
+                key = (str(entry["file"]), str(entry["code"]), str(entry["symbol"]))
+                budgets[key] = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise ValueError(f"baseline {path}: malformed entry {entry!r}") from exc
+        return cls(budgets=budgets)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable document (entries sorted for stable diffs)."""
+        entries = [
+            {"file": file, "code": code, "symbol": symbol, "count": count}
+            for (file, code, symbol), count in sorted(self.budgets.items())
+        ]
+        return {"schema": _SCHEMA, "entries": entries}
+
+    def save(self, path: Path) -> None:
+        """Write the baseline document."""
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def filter(self, findings: list[LintFinding]) -> tuple[list[LintFinding], int]:
+        """Split findings into (surfaced, number waived by the baseline).
+
+        Findings are consumed against each key's budget in input order, so
+        the (count+1)-th occurrence of a baselined offence surfaces.
+        """
+        remaining = dict(self.budgets)
+        surfaced: list[LintFinding] = []
+        waived = 0
+        for finding in findings:
+            key = finding.baseline_key()
+            budget = remaining.get(key, 0)
+            if budget > 0:
+                remaining[key] = budget - 1
+                waived += 1
+            else:
+                surfaced.append(finding)
+        return surfaced, waived
+
+    def __len__(self) -> int:
+        return sum(self.budgets.values())

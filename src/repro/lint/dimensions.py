@@ -1,0 +1,116 @@
+"""Resolving unit annotations and combining inferred dimensions.
+
+The analyzer resolves annotations *syntactically*: ``x: Meters`` (or
+``units.Meters``, ``"Meters"``, ``Meters | None``, ``Optional[Meters]``)
+maps through :data:`repro.units.UNIT_ALIASES` by alias *name*, so no
+import tracking is needed and fixture modules in tests work without
+imports.  The alias table in :mod:`repro.units` is the single source of
+truth.
+
+Inference works on ``Unit | None`` — ``None`` means "unknown, assume
+nothing" (the analyzer only ever flags when *both* sides of an operation
+are known).  Bare numeric literals infer as the :data:`NUMBER` pseudo-unit,
+which mixes with everything: ``d * 1.05`` stays metres, ``x + 1.0`` is not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..units import UNIT_ALIASES, Unit
+
+__all__ = [
+    "NUMBER",
+    "DIMENSIONLESS",
+    "unit_from_annotation",
+    "mixable",
+    "describe",
+    "mismatch_text",
+]
+
+#: Pseudo-unit of bare numeric literals: compatible with every unit.
+NUMBER = Unit("number", 1.0, "")
+
+#: The explicit dimensionless unit (ratios, coupling factors).
+DIMENSIONLESS = UNIT_ALIASES["Dimensionless"]
+
+_OPTIONAL_WRAPPERS = {"Optional", "Annotated", "Final"}
+
+
+def unit_from_annotation(node: ast.expr | None) -> Unit | None:
+    """The unit tag of an annotation expression, if it names a unit alias.
+
+    Handles the syntactic forms contributors actually write: a bare alias
+    name, an attribute path ending in the alias (``units.Meters``), a
+    string annotation, ``X | None`` unions and ``Optional[X]`` /
+    ``Final[X]`` wrappers.  Anything else resolves to ``None`` (unknown).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return UNIT_ALIASES.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return UNIT_ALIASES.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return None
+        return unit_from_annotation(parsed.body)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return unit_from_annotation(node.left) or unit_from_annotation(node.right)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else ""
+        )
+        if name in _OPTIONAL_WRAPPERS:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                return unit_from_annotation(inner.elts[0])
+            return unit_from_annotation(inner)
+    return None
+
+
+def mixable(a: Unit, b: Unit) -> bool:
+    """Whether two known units may be added/compared without a diagnostic."""
+    if a == NUMBER or b == NUMBER:
+        return True
+    return a.dimension == b.dimension and a.scale == b.scale
+
+
+def describe(unit: Unit) -> str:
+    """Human label of a unit: ``"length [m]"`` / ``"dimensionless"``."""
+    if unit == NUMBER:
+        return "number"
+    if not unit.symbol:
+        return unit.dimension
+    return f"{unit.dimension} [{unit.symbol}]"
+
+
+def mismatch_text(a: Unit, b: Unit) -> str:
+    """Phrase a unit mismatch for a diagnostic message."""
+    if a.dimension == b.dimension:
+        return (
+            f"same dimension ({a.dimension}) at different scales: "
+            f"{a.symbol or '1'} vs {b.symbol or '1'}"
+        )
+    return f"{describe(a)} vs {describe(b)}"
+
+
+def merge(a: Unit | None, b: Unit | None) -> Unit | None:
+    """Combine two additive operands' units (no diagnostics here).
+
+    NUMBER defers to the other side; agreeing units keep their unit;
+    anything conflicting or unknown yields unknown.
+    """
+    if a is None or b is None:
+        return None
+    if a == NUMBER:
+        return b
+    if b == NUMBER:
+        return a
+    if mixable(a, b):
+        return a
+    return None

@@ -1,0 +1,176 @@
+"""The physlint rule catalogue: every code-analysis rule, as data.
+
+Mirrors ``repro.check.registry`` (the *design* linter) for the *code*
+linter: each rule is registered once as a :class:`~repro.check.registry.RuleSpec`
+carrying its stable code, default severity, category and rationale.
+``docs/PHYSLINT.md`` is the human rendering of this table and the tests
+cross-check the two.
+
+Codes are grouped by rule family::
+
+    UNT0xx  units      (dimension inference over annotated APIs)
+    NUM0xx  numeric    (floating-point robustness)
+    API0xx  api        (interface hygiene: mutable defaults, global state)
+    LNT0xx  analyzer   (the analyzer's own operational diagnostics)
+
+Codes are append-only: a released code never changes meaning, and retired
+codes are not reused.
+"""
+
+from __future__ import annotations
+
+from ..check.diagnostics import Severity
+from ..check.registry import RuleSpec
+
+__all__ = ["lint_rule_specs", "lint_spec_for"]
+
+_ERROR = Severity.ERROR
+_WARNING = Severity.WARNING
+
+_SPECS: tuple[RuleSpec, ...] = (
+    # -- units ------------------------------------------------------------
+    RuleSpec(
+        "UNT001",
+        "mixed-unit-arithmetic",
+        _ERROR,
+        "units",
+        "Adding or subtracting quantities of different dimensions (metres "
+        "plus henries) or scales (metres plus millimetres) produces a "
+        "number that is wrong by construction; unit-scale slips are the "
+        "classic parasitic-extraction failure (H vs nH is nine orders).",
+    ),
+    RuleSpec(
+        "UNT002",
+        "mixed-unit-comparison",
+        _ERROR,
+        "units",
+        "Comparing quantities of different dimensions or scales makes the "
+        "branch condition meaningless — a distance threshold in mm "
+        "silently never fires against a value in m.",
+    ),
+    RuleSpec(
+        "UNT003",
+        "call-argument-unit-mismatch",
+        _ERROR,
+        "units",
+        "Passing a value of one unit into a parameter annotated with "
+        "another (rad into a degree parameter, mm into a metre API) is "
+        "invisible at runtime: everything is float.",
+    ),
+    RuleSpec(
+        "UNT004",
+        "return-unit-mismatch",
+        _ERROR,
+        "units",
+        "A function annotated to return one unit but returning an "
+        "expression of another breaks every caller that trusts the "
+        "signature.",
+    ),
+    RuleSpec(
+        "UNT005",
+        "assignment-unit-conflict",
+        _ERROR,
+        "units",
+        "Rebinding a unit-annotated variable with a value of a different "
+        "dimension or scale defeats the declared unit for the rest of the "
+        "scope.",
+    ),
+    RuleSpec(
+        "UNT006",
+        "mixed-units-in-reduction",
+        _ERROR,
+        "units",
+        "min/max/sum/hypot over arguments of different units compares or "
+        "accumulates incommensurable quantities.",
+    ),
+    # -- numeric ----------------------------------------------------------
+    RuleSpec(
+        "NUM001",
+        "exact-float-equality",
+        _WARNING,
+        "numeric",
+        "== / != against a float literal is an exact bit comparison; "
+        "computed values (quadrature sums, matrix entries) differ from "
+        "their ideal value by rounding, so the branch is unstable.  Use "
+        "math.isclose or repro.units.approx_zero.",
+    ),
+    RuleSpec(
+        "NUM002",
+        "unguarded-division",
+        _WARNING,
+        "numeric",
+        "Dividing by a runtime quantity that is never validated or "
+        "compared anywhere in the function raises ZeroDivisionError (or "
+        "yields inf) deep inside a solve instead of failing at the input.",
+    ),
+    RuleSpec(
+        "NUM003",
+        "domain-unsafe-math",
+        _WARNING,
+        "numeric",
+        "sqrt/log of a difference can go (numerically) negative even when "
+        "the maths says it cannot; clamp or guard the argument.",
+    ),
+    RuleSpec(
+        "NUM004",
+        "naive-float-accumulation",
+        _WARNING,
+        "numeric",
+        "Plain sum() accumulates rounding error linearly; PEEC kernels "
+        "sum thousands of partial inductances spanning orders of "
+        "magnitude, where math.fsum is exact at the same cost.",
+    ),
+    RuleSpec(
+        "NUM005",
+        "mutable-default-argument",
+        _ERROR,
+        "numeric",
+        "A mutable default (list/dict/set) is created once at definition "
+        "time and shared across calls — cached state leaks between "
+        "independent analyses.",
+    ),
+    # -- api --------------------------------------------------------------
+    RuleSpec(
+        "API001",
+        "module-level-mutable-state",
+        _WARNING,
+        "api",
+        "A lowercase module-level mutable binding reads as an accidental "
+        "global; name it like a constant (UPPERCASE) if it is a fixed "
+        "registry, or move it into an object if it is state.",
+    ),
+    RuleSpec(
+        "API002",
+        "global-statement",
+        _WARNING,
+        "api",
+        "Rebinding module globals from inside functions makes behaviour "
+        "order-dependent and untestable; prefer an explicit object or a "
+        "documented singleton accessor.",
+    ),
+    # -- analyzer ---------------------------------------------------------
+    RuleSpec(
+        "LNT001",
+        "unparsable-module",
+        _ERROR,
+        "analyzer",
+        "A module that does not parse cannot be analyzed (or imported); "
+        "physlint reports it instead of crashing.",
+    ),
+)
+
+_BY_CODE: dict[str, RuleSpec] = {s.code: s for s in _SPECS}
+
+
+def lint_rule_specs() -> tuple[RuleSpec, ...]:
+    """All registered physlint rules, ordered by code."""
+    return _SPECS
+
+
+def lint_spec_for(code: str) -> RuleSpec:
+    """Look up a physlint rule by code.
+
+    Raises:
+        KeyError: for an unregistered code.
+    """
+    return _BY_CODE[code]

@@ -1,0 +1,86 @@
+"""Inline physlint suppressions.
+
+Two comment forms, scanned with :mod:`tokenize` so strings containing
+the magic words do not count::
+
+    lmat[b, m] = 0.0  # physlint: disable=NUM001     (this line only)
+    # physlint: disable=API002                        (whole file)
+
+A comment sharing its line with code suppresses the named codes on that
+line; a comment standing alone on its line suppresses them for the whole
+file (the issue-tracker style "per-file" waiver).  ``disable=all``
+suppresses every rule.  Unknown codes are tolerated (forward
+compatibility with newer rule sets).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "scan_suppressions"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*physlint:\s*disable\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Suppressed rule codes, per line and file-wide.
+
+    Attributes:
+        by_line: line number -> codes disabled on that line.
+        file_wide: codes disabled for the whole module.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a finding of ``code`` at ``line`` is waived."""
+        for codes in (self.file_wide, self.by_line.get(line, set())):
+            if "ALL" in codes or code in codes:
+                return True
+        return False
+
+
+def _parse_codes(comment: str) -> set[str] | None:
+    match = _DIRECTIVE_RE.search(comment)
+    if match is None:
+        return None
+    return {
+        token.strip().upper()
+        for token in match.group("codes").split(",")
+        if token.strip()
+    }
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """All suppression directives of one module's source text.
+
+    Tolerates tokenization failures (the parse-error path already reports
+    LNT001); a module that cannot be tokenized has no suppressions.
+    """
+    suppressions = Suppressions()
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        codes = _parse_codes(token.string)
+        if codes is None:
+            continue
+        line_no, column = token.start
+        line_text = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+        standalone = line_text[:column].strip() == ""
+        if standalone:
+            suppressions.file_wide |= codes
+        else:
+            suppressions.by_line.setdefault(line_no, set()).update(codes)
+    return suppressions

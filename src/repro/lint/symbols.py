@@ -1,0 +1,189 @@
+"""Project-wide symbol table for unit inference.
+
+A first pass over every module collects the unit signatures of functions,
+methods and annotated class attributes, so the per-module inference pass
+can check *call boundaries*: argument units against parameter
+annotations, and the unit a call expression evaluates to.
+
+Resolution is by bare name (functions and methods are imported and called
+by their last name segment throughout this codebase).  When two
+definitions share a name but disagree on units, the name is marked
+*ambiguous* and excluded from checking — a linter must never guess.
+
+A small builtin table covers the ``math`` / ``numpy`` functions whose
+unit behaviour matters to this codebase (trigonometry takes radians,
+``math.degrees`` converts, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..units import UNIT_ALIASES, Unit
+from .dimensions import unit_from_annotation
+
+__all__ = ["FuncSig", "SymbolTable", "build_symbol_table"]
+
+_RAD = UNIT_ALIASES["Radians"]
+_DEG = UNIT_ALIASES["Degrees"]
+_NUMBERLIKE = Unit("number", 1.0, "")
+
+
+@dataclass(frozen=True)
+class FuncSig:
+    """Unit signature of one function or method.
+
+    Attributes:
+        name: bare function name (diagnostic context).
+        params: ordered (name, unit-or-None) pairs, ``self``/``cls``
+            stripped for methods.
+        returns: unit of the return annotation, if any.
+    """
+
+    name: str
+    params: tuple[tuple[str, Unit | None], ...]
+    returns: Unit | None
+
+    def param_unit(self, index: int, keyword: str | None) -> Unit | None:
+        """Unit of the parameter an argument binds to (None if unknown)."""
+        if keyword is not None:
+            for pname, unit in self.params:
+                if pname == keyword:
+                    return unit
+            return None
+        if 0 <= index < len(self.params):
+            return self.params[index][1]
+        return None
+
+
+@dataclass
+class SymbolTable:
+    """Everything the inference pass can resolve across module borders.
+
+    Attributes:
+        functions: bare name -> signature, or None when ambiguous.
+        attributes: class-attribute name -> unit, or None when ambiguous.
+        qualified: dotted builtin name ("math.cos") -> signature.
+    """
+
+    functions: dict[str, FuncSig | None] = field(default_factory=dict)
+    attributes: dict[str, Unit | None] = field(default_factory=dict)
+    qualified: dict[str, FuncSig] = field(default_factory=dict)
+
+    def signature_for_call(self, func: ast.expr) -> FuncSig | None:
+        """Resolve the unit signature a call expression targets, if any."""
+        if isinstance(func, ast.Name):
+            return self.functions.get(func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                qualified = self.qualified.get(f"{func.value.id}.{func.attr}")
+                if qualified is not None:
+                    return qualified
+            return self.functions.get(func.attr)
+        return None
+
+    def attribute_unit(self, name: str) -> Unit | None:
+        """Unit of a class attribute by bare name (None if unknown)."""
+        return self.attributes.get(name)
+
+    def _record_function(self, sig: FuncSig) -> None:
+        existing = self.functions.get(sig.name, _MISSING)
+        if existing is _MISSING:
+            self.functions[sig.name] = sig
+        elif existing != sig:
+            self.functions[sig.name] = None  # ambiguous: never guess
+
+    def _record_attribute(self, name: str, unit: Unit) -> None:
+        existing = self.attributes.get(name, _MISSING)
+        if existing is _MISSING:
+            self.attributes[name] = unit
+        elif existing != unit:
+            self.attributes[name] = None  # ambiguous: never guess
+
+
+_MISSING: object = object()
+
+
+def _signature_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> FuncSig | None:
+    """Unit signature of a def, or None when no units are involved."""
+    args = node.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    if is_method and ordered and ordered[0].arg in ("self", "cls"):
+        ordered = ordered[1:]
+    params: list[tuple[str, Unit | None]] = [
+        (a.arg, unit_from_annotation(a.annotation)) for a in ordered
+    ]
+    # Keyword-only parameters participate in keyword binding only; append
+    # them after the positionals (they can never bind positionally, but
+    # param_unit() looks keywords up by name across the whole tuple).
+    params += [(a.arg, unit_from_annotation(a.annotation)) for a in args.kwonlyargs]
+    returns = unit_from_annotation(node.returns)
+    if returns is None and all(unit is None for _, unit in params):
+        return None
+    return FuncSig(name=node.name, params=tuple(params), returns=returns)
+
+
+def _collect(tree: ast.Module, table: SymbolTable) -> None:
+    class Collector(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self._class_depth = 0
+
+        def _handle_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            sig = _signature_of(node, is_method=self._class_depth > 0)
+            if sig is not None:
+                table._record_function(sig)
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._handle_def(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._handle_def(node)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    unit = unit_from_annotation(stmt.annotation)
+                    if unit is not None:
+                        table._record_attribute(stmt.target.id, unit)
+            self._class_depth += 1
+            try:
+                self.generic_visit(node)
+            finally:
+                self._class_depth -= 1
+
+    Collector().visit(tree)
+
+
+def _builtin_table() -> dict[str, FuncSig]:
+    """Unit behaviour of the relevant ``math`` / ``numpy`` functions."""
+    table: dict[str, FuncSig] = {}
+
+    def register(names: tuple[str, ...], param: Unit | None, returns: Unit | None) -> None:
+        for dotted in names:
+            bare = dotted.rsplit(".", maxsplit=1)[-1]
+            table[dotted] = FuncSig(bare, (("x", param),), returns)
+
+    trig = ("math.cos", "math.sin", "math.tan", "np.cos", "np.sin", "np.tan",
+            "numpy.cos", "numpy.sin", "numpy.tan")
+    register(trig, _RAD, _NUMBERLIKE)
+    inverse = ("math.acos", "math.asin", "math.atan", "np.arccos", "np.arcsin",
+               "np.arctan", "numpy.arccos", "numpy.arcsin", "numpy.arctan")
+    register(inverse, _NUMBERLIKE, _RAD)
+    register(("math.degrees", "np.rad2deg", "numpy.rad2deg"), _RAD, _DEG)
+    register(("math.radians", "np.deg2rad", "numpy.deg2rad"), _DEG, _RAD)
+    # atan2 returns radians; its two arguments share an (unknown) unit.
+    for dotted in ("math.atan2", "np.arctan2", "numpy.arctan2"):
+        table[dotted] = FuncSig("atan2", (("y", None), ("x", None)), _RAD)
+    return table
+
+
+def build_symbol_table(modules: dict[str, ast.Module]) -> SymbolTable:
+    """One table over all parsed modules (file label -> AST)."""
+    table = SymbolTable(qualified=_builtin_table())
+    for tree in modules.values():
+        _collect(tree, table)
+    return table

@@ -254,7 +254,7 @@ def get_tracer() -> Tracer | NullTracer:
 
 def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     """Install ``tracer`` as the global tracer and return it."""
-    global _tracer
+    global _tracer  # physlint: disable=API002 -- documented singleton accessor
     _tracer = tracer
     return tracer
 

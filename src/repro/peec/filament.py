@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..geometry import Transform3D, Vec3
+from ..units import Dimensionless, Henries, Meters
 
 __all__ = [
     "MU0",
@@ -73,9 +74,9 @@ class Filament:
 
     start: Vec3
     end: Vec3
-    width: float = 1e-3
-    thickness: float = 35e-6
-    weight: float = 1.0
+    width: Meters = 1e-3
+    thickness: Meters = 35e-6
+    weight: Dimensionless = 1.0
 
     def __post_init__(self) -> None:
         if self.width <= 0.0 or self.thickness <= 0.0:
@@ -84,7 +85,7 @@ class Filament:
             raise ValueError("zero-length filament")
 
     @property
-    def length(self) -> float:
+    def length(self) -> Meters:
         """Filament length [m]."""
         return self.start.distance_to(self.end)
 
@@ -106,7 +107,7 @@ class Filament:
         """Same geometry, opposite traversal direction."""
         return replace(self, start=self.end, end=self.start)
 
-    def mirrored_z(self, plane_z: float) -> "Filament":
+    def mirrored_z(self, plane_z: Meters) -> "Filament":
         """Geometric mirror through the plane ``z = plane_z`` (weight kept).
 
         Image-current construction (geometry mirror + weight negation) is
@@ -126,12 +127,12 @@ class Filament:
             for i in range(pieces)
         ]
 
-    def self_inductance(self) -> float:
+    def self_inductance(self) -> Henries:
         """Partial self-inductance of this filament's rectangular bar [H]."""
         return self_inductance_bar(self.length, self.width, self.thickness)
 
 
-def self_inductance_bar(length: float, width: float, thickness: float) -> float:
+def self_inductance_bar(length: Meters, width: Meters, thickness: Meters) -> Henries:
     """Partial self-inductance of a straight rectangular bar (Ruehli).
 
     ``L = (mu0 * l / 2pi) * (ln(2l/(w+t)) + 0.5 + 0.2235 (w+t)/l)``
@@ -153,7 +154,9 @@ def self_inductance_bar(length: float, width: float, thickness: float) -> float:
     return max(value, floor)
 
 
-def neumann_mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER) -> float:
+def neumann_mutual_inductance(
+    f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER
+) -> Henries:
     """Mutual partial inductance via the Neumann double integral [H].
 
     ``M = (mu0 / 4pi) (t1 . t2) * l1 * l2 * sum_ij w_i w_j / r_ij``
@@ -187,7 +190,7 @@ def neumann_mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_
     return MU0 / (4.0 * math.pi) * cos_angle * f1.length * f2.length * integral
 
 
-def mutual_inductance_parallel(f1: Filament, f2: Filament) -> float:
+def mutual_inductance_parallel(f1: Filament, f2: Filament) -> Henries:
     """Closed-form mutual inductance of two parallel filaments [H].
 
     Uses the textbook antiderivative ``Phi(u) = u asinh(u/d) - sqrt(u^2+d^2)``
@@ -235,7 +238,7 @@ def _are_parallel(f1: Filament, f2: Filament) -> bool:
     return abs(abs(f1.direction.dot(f2.direction)) - 1.0) < 1e-12
 
 
-def mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER) -> float:
+def mutual_inductance(f1: Filament, f2: Filament, order: int = _DEFAULT_ORDER) -> Henries:
     """Mutual partial inductance of two filaments, choosing the best method.
 
     Parallel pairs use the exact closed form.  Skewed pairs use quadrature,

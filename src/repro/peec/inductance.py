@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import get_tracer
+from ..units import Dimensionless, Henries
 from .filament import Filament, mutual_inductance
 from .mesh import CurrentPath
 
@@ -49,7 +50,7 @@ def partial_inductance_matrix(filaments: list[Filament], order: int = 12) -> np.
     return matrix
 
 
-def loop_self_inductance(path: CurrentPath, order: int = 12) -> float:
+def loop_self_inductance(path: CurrentPath, order: int = 12) -> Henries:
     """Self-inductance of a current path [H].
 
     ``L = sum_i w_i^2 L_ii + sum_{i != j} w_i w_j M_ij`` — the double sum
@@ -76,7 +77,7 @@ def loop_self_inductance(path: CurrentPath, order: int = 12) -> float:
     return total
 
 
-def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> float:
+def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> Henries:
     """Mutual inductance between two current paths [H] (signed).
 
     The sign encodes the relative winding sense under the chosen terminal
@@ -94,7 +95,7 @@ def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> 
     return total
 
 
-def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8) -> float:
+def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8) -> Henries:
     """Vectorised mutual inductance between two *disjoint* paths [H].
 
     Evaluates the Neumann integral for every filament pair in one numpy
@@ -145,10 +146,10 @@ def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8)
 def coupling_factor(
     a: CurrentPath,
     b: CurrentPath,
-    la: float | None = None,
-    lb: float | None = None,
+    la: Henries | None = None,
+    lb: Henries | None = None,
     order: int = 12,
-) -> float:
+) -> Dimensionless:
     """Magnetic coupling factor ``k = M / sqrt(La * Lb)`` (signed).
 
     Passing precomputed self-inductances avoids recomputing them in sweeps

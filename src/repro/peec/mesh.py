@@ -52,7 +52,7 @@ class CurrentPath:
 
     def total_length(self) -> float:
         """Sum of filament lengths, weighted by |turns| (wire length)."""
-        return sum(f.length * abs(f.weight) for f in self.filaments)
+        return math.fsum(f.length * abs(f.weight) for f in self.filaments)
 
     def magnetic_moment(self) -> Vec3:
         """Magnetic dipole moment per ampere of terminal current [m^2].
@@ -79,7 +79,7 @@ class CurrentPath:
 
     def centroid(self) -> Vec3:
         """Length-weighted centroid of the path."""
-        total_len = sum(f.length for f in self.filaments)
+        total_len = math.fsum(f.length for f in self.filaments)
         acc = Vec3.zero()
         for f in self.filaments:
             acc = acc + f.midpoint * f.length

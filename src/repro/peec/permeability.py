@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..units import Dimensionless, Meters
+
 __all__ = [
     "demagnetizing_factor_rod",
     "effective_permeability",
@@ -34,7 +36,7 @@ __all__ = [
 ]
 
 
-def demagnetizing_factor_rod(length: float, diameter: float) -> float:
+def demagnetizing_factor_rod(length: Meters, diameter: Meters) -> Dimensionless:
     """Demagnetising factor of a cylindrical rod magnetised along its axis.
 
     Uses the Ollendorff/Bozorth fit ``N = (ln(2m) - 1) / m^2 * ...`` in the
@@ -51,7 +53,7 @@ def demagnetizing_factor_rod(length: float, diameter: float) -> float:
     return min(max(n, 1e-6), 1.0 / 3.0)
 
 
-def effective_permeability(mu_r: float, demag_factor: float) -> float:
+def effective_permeability(mu_r: Dimensionless, demag_factor: Dimensionless) -> Dimensionless:
     """Effective permeability of an open core: ``mu_r / (1 + N (mu_r - 1))``.
 
     Args:
@@ -78,10 +80,10 @@ class CoreMaterial:
     """
 
     name: str
-    mu_r: float
-    stray_fraction: float = 1.0
+    mu_r: Dimensionless
+    stray_fraction: Dimensionless = 1.0
 
-    def mu_eff(self, demag_factor: float) -> float:
+    def mu_eff(self, demag_factor: Dimensionless) -> Dimensionless:
         """Effective permeability for a given core shape."""
         return effective_permeability(self.mu_r, demag_factor)
 
@@ -93,7 +95,7 @@ IRON_POWDER_26 = CoreMaterial("Iron-26", mu_r=75.0, stray_fraction=1.0)
 AIR_CORE = CoreMaterial("air", mu_r=1.0, stray_fraction=1.0)
 
 
-def stray_coupling_scale(mu_eff_a: float, mu_eff_b: float) -> float:
+def stray_coupling_scale(mu_eff_a: Dimensionless, mu_eff_b: Dimensionless) -> Dimensionless:
     """Scale factor applied to an air-core mutual inductance M_air.
 
     The self-inductances scale with ``mu_eff`` each; the *coupling factor*

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..geometry import Placement2D, Vec2
 from ..rules import MinDistanceRule, effective_min_distance
+from ..units import Degrees, Meters
 from .model import PlacementProblem
 
 __all__ = ["RotationPlan", "RotationOptimizer"]
@@ -27,13 +28,13 @@ __all__ = ["RotationPlan", "RotationOptimizer"]
 class RotationPlan:
     """Chosen rotation per refdes plus the objective trajectory."""
 
-    rotations_deg: dict[str, float]
-    initial_emd_sum: float
-    final_emd_sum: float
+    rotations_deg: dict[str, Degrees]
+    initial_emd_sum: Meters
+    final_emd_sum: Meters
     passes: int
 
     @property
-    def improvement(self) -> float:
+    def improvement(self) -> Meters:
         """Absolute reduction of the EMD sum [m]."""
         return self.initial_emd_sum - self.final_emd_sum
 
@@ -54,7 +55,7 @@ class RotationOptimizer:
             self._inplane[ref] = inplane
             self._axis0[ref] = math.atan2(axis.y, axis.x) if inplane else 0.0
 
-    def _emd(self, rule: MinDistanceRule, rot_a: float, rot_b: float) -> float:
+    def _emd(self, rule: MinDistanceRule, rot_a: Degrees, rot_b: Degrees) -> Meters:
         """EMD under hypothetical rotations (degrees), with residual floors."""
         a = self.problem.components[rule.ref_a]
         b = self.problem.components[rule.ref_b]
@@ -77,10 +78,10 @@ class RotationOptimizer:
         angle_b = self._axis0[rule.ref_b] + math.radians(rot_b)
         return effective_min_distance(rule.pemd, angle_a - angle_b, residual)
 
-    def _current_rot(self, rotations: dict[str, float], ref: str) -> float:
+    def _current_rot(self, rotations: dict[str, Degrees], ref: str) -> Degrees:
         return rotations[ref]
 
-    def _emd_sum(self, rotations: dict[str, float]) -> float:
+    def _emd_sum(self, rotations: dict[str, Degrees]) -> Meters:
         return sum(
             self._emd(r, rotations[r.ref_a], rotations[r.ref_b])
             for r in self.problem.rules.min_distance
@@ -149,10 +150,10 @@ class RotationOptimizer:
     def _local_cost(
         self,
         ref: str,
-        angle: float,
-        rotations: dict[str, float],
+        angle: Degrees,
+        rotations: dict[str, Degrees],
         involved: dict[str, list[MinDistanceRule]],
-    ) -> float:
+    ) -> Meters:
         total = 0.0
         for rule in involved.get(ref, ()):  # Only this component's rules move.
             other = rule.ref_b if rule.ref_a == ref else rule.ref_a

@@ -20,6 +20,7 @@ from ..components import Component
 from ..coupling import distance_sweep, fit_power_law
 from ..coupling.fit import PowerLawFit
 from ..sensitivity import SensitivityEntry
+from ..units import Dimensionless, Meters
 from .rule_types import MinDistanceRule
 
 __all__ = ["PemdDerivation", "derive_pemd", "derive_rule_set"]
@@ -33,16 +34,25 @@ class PemdDerivation:
     perpendicular — zero when rotation decouples the pair completely (two
     capacitors, the paper's Fig. 6), positive when a near-field floor
     remains (capacitor against a choke).
+
+    Attributes:
+        pemd: parallel-axes minimum distance [m].
+        k_threshold: tolerable unsigned coupling factor [-] the rule
+            enforces.
+        fit: the power-law fit ``|k| = c * d^-p`` behind the inversion.
+        d_contact: centre distance at body contact [m] — the physical
+            lower bound of the sweep.
+        pemd_perp: perpendicular-axes minimum distance [m].
     """
 
-    pemd: float
-    k_threshold: float
+    pemd: Meters
+    k_threshold: Dimensionless
     fit: PowerLawFit
-    d_contact: float
-    pemd_perp: float = 0.0
+    d_contact: Meters
+    pemd_perp: Meters = 0.0
 
     @property
-    def residual(self) -> float:
+    def residual(self) -> Dimensionless:
         """The rotation-proof fraction ``pemd_perp / pemd`` (0..1)."""
         if self.pemd <= 0.0:
             return 0.0
@@ -60,18 +70,18 @@ class PemdDerivation:
         )
 
 
-def _contact_distance(comp_a: Component, comp_b: Component) -> float:
-    """Centre distance at which the circumscribed bodies touch."""
+def _contact_distance(comp_a: Component, comp_b: Component) -> Meters:
+    """Centre distance at which the circumscribed bodies touch [m]."""
     return (comp_a.max_extent() + comp_b.max_extent()) / 2.0
 
 
 def derive_pemd(
     comp_a: Component,
     comp_b: Component,
-    k_threshold: float,
+    k_threshold: Dimensionless,
     n_points: int = 7,
-    max_distance: float = 0.12,
-    ground_plane_z: float | None = None,
+    max_distance: Meters = 0.12,
+    ground_plane_z: Meters | None = None,
 ) -> PemdDerivation:
     """Sweep, fit and invert the coupling law for one component pair.
 
@@ -81,7 +91,12 @@ def derive_pemd(
     a PEMD below contact means the pair never interacts above threshold.
 
     Args:
-        k_threshold: tolerable |k| from the sensitivity analysis.
+        comp_a, comp_b: the component pair (local-frame field models).
+        k_threshold: tolerable unsigned coupling factor [-] from the
+            sensitivity analysis.
+        n_points: sweep points between contact and ``max_distance``.
+        max_distance: outer end of the distance sweep [m].
+        ground_plane_z: optional shielding plane height [m].
 
     Raises:
         ValueError: for a non-positive threshold.
@@ -153,8 +168,8 @@ def derive_rule_set(
     parts: dict[str, Component],
     relevant: list[SensitivityEntry],
     inductor_owner: dict[str, str],
-    k_threshold_db_map: float = 0.01,
-    ground_plane_z: float | None = None,
+    k_threshold_db_map: Dimensionless = 0.01,
+    ground_plane_z: Meters | None = None,
     cache: dict[tuple[str, str], PemdDerivation] | None = None,
 ) -> list[MinDistanceRule]:
     """PEMD rules for every sensitivity-relevant component pair.
@@ -164,8 +179,10 @@ def derive_rule_set(
         relevant: ranked sensitivity entries (inductor-level pairs).
         inductor_owner: circuit inductor name -> refdes, mapping the
             sensitivity result back to physical parts.
-        k_threshold_db_map: tolerable |k| (single threshold; a per-pair
-            threshold map is a straightforward extension).
+        k_threshold_db_map: tolerable unsigned coupling factor [-]
+            (single threshold; a per-pair threshold map is a
+            straightforward extension).
+        ground_plane_z: optional shielding plane height [m].
         cache: optional per-*part-number*-pair derivation cache — the paper
             notes values must be recalculated per component combination,
             but identical part pairs share one curve.
@@ -197,8 +214,10 @@ def derive_rule_set(
 
 
 def pemd_table(
-    components: list[Component], k_threshold: float, ground_plane_z: float | None = None
-) -> dict[tuple[str, str], float]:
+    components: list[Component],
+    k_threshold: Dimensionless,
+    ground_plane_z: Meters | None = None,
+) -> dict[tuple[str, str], Meters]:
     """All-pairs PEMD matrix over a component *type* list, in metres.
 
     Handy for reports: the upper triangle of the paper's n(n-1)/2 distance

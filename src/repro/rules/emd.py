@@ -27,6 +27,7 @@ import math
 
 from ..components import Component
 from ..geometry import Placement2D
+from ..units import Dimensionless, Meters, Radians
 
 __all__ = [
     "axis_angle",
@@ -42,7 +43,7 @@ def axis_angle(
     placement_a: Placement2D,
     comp_b: Component,
     placement_b: Placement2D,
-) -> float:
+) -> Radians:
     """Angle between the magnetic axes of two placed components [rad, 0..pi/2].
 
     Axes are unsigned (a dipole axis has no preferred sign), so the angle is
@@ -60,8 +61,8 @@ def emd_factor(
     placement_a: Placement2D,
     comp_b: Component,
     placement_b: Placement2D,
-    rule_residual: float = 0.0,
-) -> float:
+    rule_residual: Dimensionless = 0.0,
+) -> Dimensionless:
     """The PEMD reduction factor ``max(|cos(alpha)|, residuals)`` in [0, 1].
 
     Floors come from both the components (vertical axes, rotating stray
@@ -74,7 +75,9 @@ def emd_factor(
     return max(abs(math.cos(alpha)), min(1.0, floor))
 
 
-def effective_min_distance(pemd: float, alpha_rad: float, residual: float = 0.0) -> float:
+def effective_min_distance(
+    pemd: Meters, alpha_rad: Radians, residual: Dimensionless = 0.0
+) -> Meters:
     """``EMD = PEMD * max(|cos(alpha)|, residual)``.
 
     Raises:
@@ -92,9 +95,9 @@ def emd_for_pair(
     placement_a: Placement2D,
     comp_b: Component,
     placement_b: Placement2D,
-    pemd: float,
-    rule_residual: float = 0.0,
-) -> float:
+    pemd: Meters,
+    rule_residual: Dimensionless = 0.0,
+) -> Meters:
     """Effective minimum distance for a placed pair under its PEMD rule."""
     if pemd < 0.0:
         raise ValueError("pemd must be non-negative")
@@ -103,6 +106,6 @@ def emd_for_pair(
     )
 
 
-def worst_case_emd(pemd: float) -> float:
+def worst_case_emd(pemd: Meters) -> Meters:
     """EMD at parallel axes — the value the rotation optimiser reduces."""
     return pemd

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import Dimensionless, Meters
+
 __all__ = [
     "Rule",
     "MinDistanceRule",
@@ -53,9 +55,9 @@ class MinDistanceRule(Rule):
 
     ref_a: str = ""
     ref_b: str = ""
-    pemd: float = 0.0
-    k_threshold: float = 0.0
-    residual: float = 0.0
+    pemd: Meters = 0.0
+    k_threshold: Dimensionless = 0.0
+    residual: Dimensionless = 0.0
     source: str = "manual"
 
     def __post_init__(self) -> None:
@@ -77,7 +79,7 @@ class ClearanceRule(Rule):
 
     ref_a: str = ""
     ref_b: str = ""
-    clearance: float = 0.5e-3
+    clearance: Meters = 0.5e-3
 
     def __post_init__(self) -> None:
         if self.clearance < 0.0:
@@ -101,7 +103,7 @@ class GroupCoherenceRule(Rule):
 
     group: str = ""
     members: tuple[str, ...] = ()
-    max_spread: float = 0.0
+    max_spread: Meters = 0.0
 
     def __post_init__(self) -> None:
         if not self.group or len(self.members) < 2:
@@ -115,7 +117,7 @@ class NetLengthRule(Rule):
     """Maximum total (half-perimeter estimated) length of a net [m]."""
 
     net: str = ""
-    max_length: float = 0.0
+    max_length: Meters = 0.0
 
     def __post_init__(self) -> None:
         if not self.net:

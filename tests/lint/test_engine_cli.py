@@ -1,0 +1,191 @@
+"""The physlint engine, the ``lint-src`` CLI, and the acceptance fixtures.
+
+Two acceptance criteria from the subsystem's issue live here:
+
+* a fixture module containing a mixed-unit add (m + mm), a float ``==``
+  and an unguarded division reports exactly UNT001, NUM001 and NUM002
+  and exits nonzero;
+* the shipped tree itself, checked against the checked-in baseline,
+  exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    default_target,
+    lint_paths,
+    lint_rule_specs,
+)
+from repro.cli import build_parser, main
+
+ACCEPTANCE_FIXTURE = textwrap.dedent(
+    """\
+    def emd(board_gap: Meters, clearance: Millimeters) -> Meters:
+        return board_gap + clearance
+
+
+    def is_resonant(freq: float) -> bool:
+        return freq == 1e6
+
+
+    def scale(num: float, den: float) -> float:
+        return num / den
+    """
+)
+
+
+@pytest.fixture
+def fixture_file(tmp_path):
+    path = tmp_path / "broken_module.py"
+    path.write_text(ACCEPTANCE_FIXTURE)
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint-src"])
+        assert args.paths == []
+        assert args.format == "text"
+        assert args.fail_on == "warning"
+        assert not args.no_baseline
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["lint-src", "src", "--format", "json", "--fail-on", "error", "--no-baseline"]
+        )
+        assert args.paths == [Path("src")]
+        assert args.format == "json"
+        assert args.no_baseline
+
+
+class TestAcceptanceFixture:
+    def test_reports_unt001_num001_num002(self, fixture_file):
+        result = lint_paths([fixture_file], baseline=None)
+        assert sorted({f.code for f in result.findings}) == [
+            "NUM001",
+            "NUM002",
+            "UNT001",
+        ]
+
+    def test_cli_exits_nonzero(self, fixture_file, capsys):
+        code = main(["lint-src", str(fixture_file), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 2  # UNT001 is an error
+        assert "UNT001" in out and "NUM001" in out and "NUM002" in out
+
+    def test_cli_json_output(self, fixture_file, capsys):
+        code = main(["lint-src", str(fixture_file), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["files"] == 1
+        assert payload["counts"]["error"] >= 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"UNT001", "NUM001", "NUM002"} <= codes
+
+    def test_fail_on_error_ignores_plain_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn_only.py"
+        path.write_text("def f(v: float) -> bool:\n    return v == 0.3\n")
+        code = main(["lint-src", str(path), "--no-baseline", "--fail-on", "error"])
+        assert code == 0
+        assert "NUM001" in capsys.readouterr().out
+
+
+class TestCleanTree:
+    def test_shipped_tree_is_clean_under_baseline(self):
+        baseline = Baseline.load(DEFAULT_BASELINE_PATH)
+        result = lint_paths([default_target()], baseline=baseline)
+        offenders = [f"{f.file}:{f.line} {f.code}" for f in result.findings]
+        assert offenders == [], (
+            "physlint found non-baselined findings; fix them or run "
+            "`make physlint-baseline`"
+        )
+        assert result.files > 100
+
+    def test_cli_clean_tree_exits_zero(self, capsys):
+        code = main(["lint-src", str(default_target())])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestEngine:
+    def test_write_baseline_then_clean(self, fixture_file, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        code = main(
+            [
+                "lint-src",
+                str(fixture_file),
+                "--no-baseline",
+                "--write-baseline",
+                str(baseline_path),
+            ]
+        )
+        assert code == 0  # --write-baseline accepts the findings and exits 0
+        capsys.readouterr()
+        code = main(["lint-src", str(fixture_file), "--baseline", str(baseline_path)])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_missing_path_errors(self, capsys):
+        code = main(["lint-src", "/no/such/path.py"])
+        assert code != 0
+        assert "no such file" in capsys.readouterr().err
+
+    def test_directory_labels_are_package_relative(self, tmp_path):
+        pkg = tmp_path / "repro" / "sub"
+        pkg.mkdir(parents=True)
+        (pkg / "m.py").write_text("def f(v: float) -> bool:\n    return v == 0.1\n")
+        result = lint_paths([tmp_path / "repro"], baseline=None)
+        assert [f.file for f in result.findings] == ["repro/sub/m.py"]
+
+    def test_registry_is_stable(self):
+        codes = [spec.code for spec in lint_rule_specs()]
+        assert len(codes) == len(set(codes))
+        # Append-only contract: these codes are documented and baselined.
+        assert {
+            "UNT001",
+            "UNT002",
+            "UNT003",
+            "UNT004",
+            "UNT005",
+            "UNT006",
+            "NUM001",
+            "NUM002",
+            "NUM003",
+            "NUM004",
+            "NUM005",
+            "API001",
+            "API002",
+            "LNT001",
+        } == set(codes)
+
+    def test_module_entry_point(self, fixture_file, capsys):
+        from repro.lint.__main__ import main as module_main
+
+        code = module_main([str(fixture_file), "--no-baseline"])
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestObservability:
+    def test_lint_run_emits_spans_and_counters(self, fixture_file):
+        from repro.obs import disable, enable
+
+        tracer = enable()
+        try:
+            lint_paths([fixture_file], baseline=None)
+        finally:
+            disable()
+        report = tracer.report()
+        assert report.find("lint.run") is not None
+        assert report.find("lint.analyze") is not None
+        counters = report.totals()
+        assert counters.get("lint.files") == 1
+        assert counters.get("lint.findings", 0) >= 3

@@ -1,0 +1,222 @@
+"""One deliberately broken fixture per UNT rule, asserting exact code/line.
+
+Every fixture is an in-memory module run through :func:`lint_sources`;
+line numbers in the assertions count from the first line of the dedented
+source (``ast`` is 1-based).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(source: str, label: str = "mod.py"):
+    findings, _ = lint_sources({label: textwrap.dedent(source)})
+    return findings
+
+
+def codes_at(findings, code: str) -> list[int]:
+    return [f.line for f in findings if f.code == code]
+
+
+class TestUnt001MixedArithmetic:
+    def test_dimension_mismatch_add(self):
+        findings = run(
+            """\
+            def f(d: Meters, l: Henries) -> Meters:
+                return d + l
+            """
+        )
+        assert codes_at(findings, "UNT001") == [2]
+
+    def test_scale_mismatch_m_plus_mm(self):
+        findings = run(
+            """\
+            def f(a: Meters, b: Millimeters) -> Meters:
+                return a + b
+            """
+        )
+        [finding] = [f for f in findings if f.code == "UNT001"]
+        assert finding.line == 2
+        assert "m vs mm" in finding.message
+
+    def test_scale_mismatch_h_vs_nh(self):
+        findings = run(
+            """\
+            def f(a: Henries, b: NanoHenries) -> Henries:
+                return a - b
+            """
+        )
+        assert codes_at(findings, "UNT001") == [2]
+
+    def test_same_unit_add_is_clean(self):
+        findings = run(
+            """\
+            def f(a: Meters, b: Meters) -> Meters:
+                return a + b
+            """
+        )
+        assert findings == []
+
+    def test_literals_mix_with_anything(self):
+        findings = run(
+            """\
+            def f(a: Meters) -> Meters:
+                return a + 0.5
+            """
+        )
+        assert findings == []
+
+
+class TestUnt002MixedComparison:
+    def test_dimension_mismatch_compare(self):
+        findings = run(
+            """\
+            def f(d: Meters, t: Seconds) -> bool:
+                return d < t
+            """
+        )
+        assert codes_at(findings, "UNT002") == [2]
+
+    def test_scale_mismatch_compare(self):
+        findings = run(
+            """\
+            def f(x: Henries, y: NanoHenries) -> bool:
+                return x >= y
+            """
+        )
+        assert codes_at(findings, "UNT002") == [2]
+
+
+class TestUnt003CallArgumentMismatch:
+    def test_degrees_into_radian_parameter(self):
+        findings = run(
+            """\
+            def needs_rad(angle: Radians) -> Radians:
+                return angle
+
+            def caller(a: Degrees) -> Radians:
+                return needs_rad(a)
+            """
+        )
+        assert codes_at(findings, "UNT003") == [5]
+
+    def test_keyword_argument_mismatch(self):
+        findings = run(
+            """\
+            def spacing(gap: Meters) -> Meters:
+                return gap
+
+            def caller(l: Henries) -> Meters:
+                return spacing(gap=l)
+            """
+        )
+        assert codes_at(findings, "UNT003") == [5]
+
+    def test_matching_argument_is_clean(self):
+        findings = run(
+            """\
+            def needs_rad(angle: Radians) -> Radians:
+                return angle
+
+            def caller(a: Radians) -> Radians:
+                return needs_rad(a)
+            """
+        )
+        assert findings == []
+
+
+class TestUnt004ReturnMismatch:
+    def test_returns_wrong_dimension(self):
+        findings = run(
+            """\
+            def inductance() -> Henries:
+                return 1e-9
+
+            def f() -> Meters:
+                return inductance()
+            """
+        )
+        assert codes_at(findings, "UNT004") == [5]
+
+
+class TestUnt005AssignmentConflict:
+    def test_rebinding_param_to_other_unit(self):
+        findings = run(
+            """\
+            def make_l() -> Henries:
+                return 1e-9
+
+            def f(x: Meters) -> Meters:
+                x = make_l()
+                return x
+            """
+        )
+        assert codes_at(findings, "UNT005") == [5]
+
+    def test_annotated_local_conflict(self):
+        findings = run(
+            """\
+            def f(x: Meters) -> Meters:
+                y: Henries = x
+                return x
+            """
+        )
+        assert codes_at(findings, "UNT005") == [2]
+
+
+class TestUnt006MixedReduction:
+    def test_max_of_mixed_units(self):
+        findings = run(
+            """\
+            def f(d: Meters, l: Henries) -> Meters:
+                return max(d, l)
+            """
+        )
+        assert codes_at(findings, "UNT006") == [2]
+
+    def test_homogeneous_reduction_is_clean(self):
+        findings = run(
+            """\
+            def f(d: Meters, e: Meters) -> Meters:
+                return max(d, e)
+            """
+        )
+        assert findings == []
+
+
+class TestPropagation:
+    def test_units_flow_through_assignments(self):
+        findings = run(
+            """\
+            def f(d: Meters, l: Henries) -> Meters:
+                shifted = d
+                return shifted + l
+            """
+        )
+        assert codes_at(findings, "UNT001") == [3]
+
+    def test_radian_trig_is_understood(self):
+        # math.cos consumes radians and yields a plain number.
+        findings = run(
+            """\
+            import math
+
+            def f(a: Radians, d: Meters) -> Meters:
+                return d * math.cos(a)
+            """
+        )
+        assert findings == []
+
+    def test_unknown_units_never_flag(self):
+        # Precision grows with annotation coverage: unannotated values
+        # must stay silent rather than guess.
+        findings = run(
+            """\
+            def f(a, b):
+                return a + b
+            """
+        )
+        assert findings == []
