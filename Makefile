@@ -6,10 +6,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ruff mypy physlint physlint-baseline
+.PHONY: test lint ruff mypy physlint physlint-baseline bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Cold/warm smoke of the parallel coupling engine and its persistent cache.
+bench-smoke:
+	$(PYTHON) benchmarks/smoke_parallel.py
 
 ## Full static gate: style (ruff) + types (mypy) + physics lint (physlint).
 lint: ruff mypy physlint

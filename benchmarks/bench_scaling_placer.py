@@ -1,13 +1,18 @@
-"""Scaling — placer runtime versus problem size.
+"""Scaling — placer runtime versus problem size, and the coupling engine.
 
 The paper: "It is well known that layout problems are NP hard concerning
 their algorithmic complexity … it is necessary to decompose the placement
 problems in sub-tasks and to solve them with efficient heuristic methods."
 This bench measures the heuristic's empirical scaling: components from 8
 to 48 with a proportional rule count, wall-clock and legality per size.
+
+A second scenario measures the coupling hot path itself: the all-pairs
+coupling matrix of the largest board, serial-and-cold versus four workers
+with a warm persistent cache (the numbers quoted in docs/PERFORMANCE.md).
 """
 
 import itertools
+import math
 import time
 
 from repro.components import (
@@ -15,7 +20,9 @@ from repro.components import (
     FilmCapacitorX2,
     small_bobbin_choke,
 )
-from repro.geometry import Polygon2D
+from repro.coupling import CouplingDatabase
+from repro.geometry import Placement2D, Polygon2D
+from repro.parallel import CouplingExecutor, PersistentCouplingCache
 from repro.placement import AutoPlacer, Board, PlacedComponent, PlacementProblem
 from repro.rules import MinDistanceRule, RuleSet
 from repro.viz import series_table
@@ -23,8 +30,6 @@ from repro.viz import series_table
 
 def build_problem(n_components: int) -> PlacementProblem:
     # Board area scales with the part count so density stays constant.
-    import math
-
     side = 0.03 * math.sqrt(n_components)
     problem = PlacementProblem([Board(0, Polygon2D.rectangle(0, 0, side, side))])
     refs = []
@@ -86,3 +91,97 @@ def test_scaling_placer(benchmark, record):
     # Far from exponential: 6x the parts may cost at most ~40x the time
     # (the candidate set and the pair checks both grow with n).
     assert growth < 40.0
+
+
+def placed_layout(n_components: int) -> list[tuple[str, object, Placement2D]]:
+    """A deterministic placed board with few repeated relative poses.
+
+    Irregular pitch and per-part rotation keep the in-memory pose dedup
+    from short-circuiting the cold run, so the scenario times genuine
+    field solves.
+    """
+    factories = [FilmCapacitorX2, small_bobbin_choke, CeramicCapacitor]
+    cols = math.ceil(math.sqrt(n_components))
+    placed: list[tuple[str, object, Placement2D]] = []
+    for i in range(n_components):
+        row, col = divmod(i, cols)
+        x = col * 0.021 + 0.0007 * ((i * 7) % 5)
+        y = row * 0.019 + 0.0005 * ((i * 11) % 7)
+        placement = Placement2D.at(x, y, (i * 37.0) % 360.0)
+        placed.append((f"U{i}", factories[i % 3](), placement))
+    return placed
+
+
+def test_scaling_coupling_engine(benchmark, record, tmp_path):
+    """All-pairs couplings: serial cold vs. 4 workers over a warm cache.
+
+    The acceptance bar for the parallel/persistent engine: on the largest
+    placer scenario the warm cached run must be at least 3x faster than
+    the serial cold run, and every coupling coefficient must match the
+    serial ground truth exactly (the executor re-runs the same pure
+    function, so "within 1e-12" is met with equality).
+    """
+    n = 48
+    cache_dir = tmp_path / "coupling-cache"
+
+    t0 = time.perf_counter()
+    serial = CouplingDatabase().pairwise_couplings(placed_layout(n))
+    t_serial = time.perf_counter() - t0
+
+    executor = CouplingExecutor(workers=4)
+    try:
+        # Cold parallel run primes the persistent store.
+        priming = CouplingDatabase(
+            persistent=PersistentCouplingCache(cache_dir=cache_dir)
+        )
+        t0 = time.perf_counter()
+        priming.pairwise_couplings(placed_layout(n), executor=executor)
+        t_parallel_cold = time.perf_counter() - t0
+
+        warm = CouplingDatabase(
+            persistent=PersistentCouplingCache(cache_dir=cache_dir)
+        )
+        t0 = time.perf_counter()
+        cached = warm.pairwise_couplings(placed_layout(n), executor=executor)
+        t_warm = time.perf_counter() - t0
+
+        def warm_lookup():
+            db = CouplingDatabase(
+                persistent=PersistentCouplingCache(cache_dir=cache_dir)
+            )
+            db.pairwise_couplings(placed_layout(n), executor=executor)
+
+        benchmark.pedantic(warm_lookup, rounds=3, iterations=1)
+    finally:
+        executor.close()
+
+    speedup = t_serial / t_warm
+    rows = [
+        ["serial, cold", f"{t_serial * 1e3:.0f}", len(serial), 0],
+        [
+            "4 workers, cold (prime)",
+            f"{t_parallel_cold * 1e3:.0f}",
+            priming.stats.misses,
+            priming.stats.persistent_hits,
+        ],
+        [
+            "4 workers, warm cache",
+            f"{t_warm * 1e3:.0f}",
+            warm.stats.misses,
+            warm.stats.persistent_hits,
+        ],
+    ]
+    table = series_table(["mode", "wall ms", "field solves", "disk hits"], rows)
+    record(
+        "scaling_coupling_engine",
+        f"{n} components, {len(serial)} pairs\n{table}\n\n"
+        f"warm cached speedup over serial cold: {speedup:.1f}x "
+        "(the cache, not the fan-out, is the dominant lever at ~1 ms/solve)",
+    )
+
+    # Bitwise identity between the serial ground truth and the warm run.
+    assert list(serial) == list(cached)
+    assert all(serial[p].k == cached[p].k for p in serial)
+    assert warm.stats.misses == 0
+    assert warm.stats.persistent_hits == len(serial)
+    assert speedup >= 3.0

@@ -21,7 +21,10 @@ buck-converter headline comparison.
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
 the run) and ``--metrics-out FILE`` (write the run report as JSON); see
-``docs/OBSERVABILITY.md``.
+``docs/OBSERVABILITY.md``.  The field-solving subcommands (``rules``,
+``demo``) additionally accept ``--workers N`` (process fan-out of the
+coupling computations), ``--cache-dir DIR`` and ``--no-cache``
+(persistent coupling cache, on by default); see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -158,10 +161,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_drc.add_argument("problem", type=Path)
     p_drc.add_argument("--csv", type=Path, help="write rule markers as CSV")
 
+    # Performance flags shared by the field-solving subcommands.
+    perf_flags = argparse.ArgumentParser(add_help=False)
+    perf_flags.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the coupling fan-out (default: 1, serial; "
+        "results are identical either way)",
+    )
+    perf_flags.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="root of the persistent coupling cache "
+        "(default: $REPRO_EMI_CACHE_DIR or ~/.cache/repro-emi/coupling)",
+    )
+    perf_flags.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent coupling cache for this run",
+    )
+
     p_rules = sub.add_parser(
         "rules",
         help="derive PEMD rules for the field-relevant parts",
-        parents=[obs_flags],
+        parents=[obs_flags, perf_flags],
     )
     p_rules.add_argument("problem", type=Path)
     p_rules.add_argument("--k-threshold", type=float, default=0.01)
@@ -178,7 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact.add_argument("--step-mm", type=float, default=1.0)
 
     p_demo = sub.add_parser(
-        "demo", help="run the buck-converter comparison", parents=[obs_flags]
+        "demo",
+        help="run the buck-converter comparison",
+        parents=[obs_flags, perf_flags],
     )
     p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
     return parser
@@ -339,6 +368,22 @@ def _cmd_drc(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
+def _perf_setup(args: argparse.Namespace):
+    """(executor, database) honouring --workers / --cache-dir / --no-cache.
+
+    The executor is ``None`` for serial runs; the database always exists
+    and carries a persistent tier unless ``--no-cache`` was given.
+    """
+    from .coupling import CouplingDatabase
+    from .parallel import CouplingExecutor, PersistentCouplingCache
+
+    executor = CouplingExecutor(workers=args.workers) if args.workers > 1 else None
+    persistent = None
+    if not args.no_cache:
+        persistent = PersistentCouplingCache(cache_dir=args.cache_dir)
+    return executor, CouplingDatabase(persistent=persistent)
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     from .rules import RuleSet, derive_pemd
 
@@ -349,30 +394,46 @@ def _cmd_rules(args: argparse.Namespace) -> int:
         for ref, comp in problem.components.items()
         if comp.component.current_path.magnetic_moment().norm() > 1e-6
     ]
+    executor, database = _perf_setup(args)
     derivation_cache: dict[tuple[str, str], object] = {}
     rules = list(problem.rules.min_distance)
     known = {r.pair() for r in rules}
     derived = 0
-    for i in range(len(relevant)):
-        for j in range(i + 1, len(relevant)):
-            if derived >= args.max_pairs:
-                break
-            ref_a, comp_a = relevant[i]
-            ref_b, comp_b = relevant[j]
-            if tuple(sorted((ref_a, ref_b))) in known:
-                continue
-            type_key = tuple(sorted((comp_a.part_number, comp_b.part_number)))
-            derivation = derivation_cache.get(type_key)
-            if derivation is None:
-                derivation = derive_pemd(comp_a, comp_b, args.k_threshold)
-                derivation_cache[type_key] = derivation
-            rule = derivation.rule(ref_a, ref_b)  # type: ignore[attr-defined]
-            rules.append(rule)
-            derived += 1
-            print(
-                f"  {ref_a}-{ref_b}: PEMD {rule.pemd * 1e3:.1f} mm "
-                f"(residual {rule.residual:.2f})"
-            )
+    try:
+        for i in range(len(relevant)):
+            for j in range(i + 1, len(relevant)):
+                if derived >= args.max_pairs:
+                    break
+                ref_a, comp_a = relevant[i]
+                ref_b, comp_b = relevant[j]
+                if tuple(sorted((ref_a, ref_b))) in known:
+                    continue
+                type_key = tuple(sorted((comp_a.part_number, comp_b.part_number)))
+                derivation = derivation_cache.get(type_key)
+                if derivation is None:
+                    derivation = derive_pemd(
+                        comp_a,
+                        comp_b,
+                        args.k_threshold,
+                        executor=executor,
+                        database=database,
+                    )
+                    derivation_cache[type_key] = derivation
+                rule = derivation.rule(ref_a, ref_b)  # type: ignore[attr-defined]
+                rules.append(rule)
+                derived += 1
+                print(
+                    f"  {ref_a}-{ref_b}: PEMD {rule.pemd * 1e3:.1f} mm "
+                    f"(residual {rule.residual:.2f})"
+                )
+    finally:
+        if executor is not None:
+            executor.close()
+    stats = database.stats
+    print(
+        f"coupling cache: {stats.hits} hit(s) ({stats.persistent_hits} from "
+        f"disk), {stats.misses} field solve(s)"
+    )
     problem.rules = RuleSet(
         min_distance=rules,
         clearance=problem.rules.clearance,
@@ -407,10 +468,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import EmiDesignFlow
     from .viz import render_board_svg, spectrum_to_csv
 
+    from .parallel import default_cache_dir
+
     out = args.out_dir
     out.mkdir(parents=True, exist_ok=True)
-    flow = EmiDesignFlow(BuckConverterDesign())
-    evaluations = flow.compare_layouts()
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    flow = EmiDesignFlow(
+        BuckConverterDesign(), workers=args.workers, cache_dir=cache_dir
+    )
+    try:
+        evaluations = flow.compare_layouts()
+    finally:
+        flow.close()
+    stats = flow.coupling_stats
+    print(
+        f"coupling cache: {stats.hits} hit(s) ({stats.persistent_hits} from "
+        f"disk), {stats.misses} field solve(s)"
+    )
     for name, evaluation in evaluations.items():
         print(
             f"{name}: {evaluation.violations} violations, "

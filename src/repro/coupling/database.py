@@ -5,19 +5,44 @@ defined"* and every coupling simulation costs field-solver time, so results
 are cached by the pair's *relative* pose (coupling is invariant under a
 rigid motion of the pair).  Poses are quantised to 0.1 mm / 1 degree, which
 is far below any placement-relevant sensitivity.
+
+Two cache tiers share that key semantics:
+
+* the **in-memory** dict keyed by component identity + relative pose
+  (this module), free to probe, gone with the process;
+* an optional **persistent** tier (:class:`repro.parallel.
+  PersistentCouplingCache`) keyed by a *content hash* of the component
+  geometry, effective-µ parameters, relative pose, ground plane and
+  quadrature order — survives restarts and is shared across runs.
+
+Batch lookups (:meth:`CouplingDatabase.pairwise_couplings`) can fan the
+cache misses out over a :class:`repro.parallel.CouplingExecutor`; results
+are inserted deterministically in pair order, so parallel and serial runs
+produce identical databases.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from ..check.limits import COUPLING_CLAMP_TOLERANCE
 from ..components import Component
 from ..geometry import Placement2D
 from ..obs import get_tracer
+from ..parallel import (
+    CouplingExecutor,
+    PersistentCouplingCache,
+    component_fingerprint,
+    pair_cache_key,
+)
 from ..units import Dimensionless, Meters
-from .pair import CouplingResult, component_coupling
+from .pair import (
+    CouplingResult,
+    CouplingTask,
+    component_coupling,
+    evaluate_coupling_task,
+)
 
 __all__ = ["CacheStats", "CouplingDatabase"]
 
@@ -78,14 +103,21 @@ class CacheStats:
     """Hit/miss accounting of a :class:`CouplingDatabase`.
 
     Attributes:
-        hits: lookups answered from the cache (direct or mirrored key).
+        hits: lookups answered from a cache (in-memory or persistent,
+            direct or mirrored key).
         misses: lookups that ran a field simulation.
-        size: number of stored field simulations.
+        size: number of field simulations held in memory.
+        persistent_hits: subset of ``hits`` answered from the on-disk
+            tier (0 when no persistent cache is attached).
+        persistent_stale: on-disk entries rejected for a schema-version
+            mismatch or corruption (each also counts as a miss).
     """
 
     hits: int
     misses: int
     size: int
+    persistent_hits: int = 0
+    persistent_stale: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,13 +140,128 @@ class CouplingDatabase:
             (``None`` = no plane, no image currents).
         order: Gauss–Legendre quadrature order passed to the field
             computation (dimensionless count, not a physical quantity).
+        persistent: optional on-disk cache tier consulted on in-memory
+            misses and written through on every solve (``None`` = memory
+            only; see docs/PERFORMANCE.md for the key semantics).
     """
 
     ground_plane_z: Meters | None = None
     order: int = 8
+    persistent: PersistentCouplingCache | None = None
     _cache: dict[tuple, CouplingResult] = field(default_factory=dict)
+    _fingerprints: dict[int, str] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    persistent_hits: int = 0
+
+    def _fingerprint(self, component: Component) -> str:
+        """Content hash of a component, memoised per object identity."""
+        cached = self._fingerprints.get(id(component))
+        if cached is None:
+            cached = component_fingerprint(component)
+            self._fingerprints[id(component)] = cached
+        return cached
+
+    def _persistent_key(
+        self,
+        comp_a: Component,
+        placement_a: Placement2D,
+        comp_b: Component,
+        placement_b: Placement2D,
+    ) -> str:
+        return pair_cache_key(
+            self._fingerprint(comp_a),
+            self._fingerprint(comp_b),
+            placement_a,
+            placement_b,
+            self.ground_plane_z,
+            self.order,
+        )
+
+    def _from_payload(self, payload: dict) -> CouplingResult | None:
+        """Rebuild a result from its JSON payload; ``None`` if malformed."""
+        try:
+            return CouplingResult(
+                k=float(payload["k"]),
+                mutual_h=float(payload["mutual_h"]),
+                self_a_h=float(payload["self_a_h"]),
+                self_b_h=float(payload["self_b_h"]),
+                shielded=bool(payload["shielded"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            get_tracer().count("cache.stale")
+            return None
+
+    def peek(
+        self,
+        comp_a: Component,
+        placement_a: Placement2D,
+        comp_b: Component,
+        placement_b: Placement2D,
+    ) -> CouplingResult | None:
+        """Cached coupling for a placed pair, or ``None`` — never solves.
+
+        Probes the in-memory tier (direct and mirrored key — k is
+        symmetric), then the persistent tier (both key orders).  A
+        persistent hit is promoted into the in-memory cache.
+
+        Args:
+            comp_a, comp_b: the components (field models in their local
+                frames; linear dimensions in metres).
+            placement_a, placement_b: board placements (positions [m],
+                rotations [rad]).
+        """
+        tracer = get_tracer()
+        key = _relative_key(comp_a, placement_a, comp_b, placement_b)
+        cached = self._cache.get(key)
+        if cached is None:
+            mirror = _relative_key(comp_b, placement_b, comp_a, placement_a)
+            cached = self._cache.get(mirror)
+        if cached is not None:
+            self.hits += 1
+            tracer.count("coupling.cache_hits")
+            return cached
+        if self.persistent is not None:
+            payload = self.persistent.get(
+                self._persistent_key(comp_a, placement_a, comp_b, placement_b)
+            )
+            if payload is None:
+                payload = self.persistent.get(
+                    self._persistent_key(comp_b, placement_b, comp_a, placement_a)
+                )
+            if payload is not None:
+                result = self._from_payload(payload)
+                if result is not None:
+                    self._cache[key] = result
+                    self.hits += 1
+                    self.persistent_hits += 1
+                    tracer.count("coupling.cache_hits")
+                    return result
+        return None
+
+    def store(
+        self,
+        comp_a: Component,
+        placement_a: Placement2D,
+        comp_b: Component,
+        placement_b: Placement2D,
+        result: CouplingResult,
+    ) -> CouplingResult:
+        """Validate a computed result and write it through every cache tier.
+
+        Returns:
+            The validated (possibly clamped, see rule CPL001) result that
+            was stored.
+        """
+        result = _validated(result, comp_a.part_number, comp_b.part_number)
+        key = _relative_key(comp_a, placement_a, comp_b, placement_b)
+        self._cache[key] = result
+        if self.persistent is not None:
+            self.persistent.put(
+                self._persistent_key(comp_a, placement_a, comp_b, placement_b),
+                asdict(result),
+            )
+        return result
 
     def coupling(
         self,
@@ -135,58 +282,96 @@ class CouplingDatabase:
             The validated :class:`CouplingResult` — coupling factor ``k``
             [-], mutual and self inductances [H].
         """
+        cached = self.peek(comp_a, placement_a, comp_b, placement_b)
+        if cached is not None:
+            return cached
         tracer = get_tracer()
-        key = _relative_key(comp_a, placement_a, comp_b, placement_b)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.hits += 1
-            tracer.count("coupling.cache_hits")
-            return cached
-        # Symmetric orientation: try the mirrored key too (k is symmetric).
-        mirror = _relative_key(comp_b, placement_b, comp_a, placement_a)
-        cached = self._cache.get(mirror)
-        if cached is not None:
-            self.hits += 1
-            tracer.count("coupling.cache_hits")
-            return cached
         self.misses += 1
         tracer.count("coupling.cache_misses")
         with tracer.span("coupling.field_solve"):
             result = component_coupling(
                 comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
             )
-        result = _validated(result, comp_a.part_number, comp_b.part_number)
-        self._cache[key] = result
-        return result
+        return self.store(comp_a, placement_a, comp_b, placement_b, result)
 
     def pairwise_couplings(
-        self, placed: list[tuple[str, Component, Placement2D]]
+        self,
+        placed: list[tuple[str, Component, Placement2D]],
+        executor: CouplingExecutor | None = None,
     ) -> dict[tuple[str, str], CouplingResult]:
         """All-pairs coupling map for a list of (refdes, component, placement).
 
-        Returns a dict keyed by the (refdes_a, refdes_b) pair with
-        refdes_a < refdes_b lexicographically.
+        Args:
+            placed: the placed components; placements in board coordinates
+                (positions [m], rotations [rad]).
+            executor: optional fan-out for the cache misses; results are
+                identical to the serial run and inserted in deterministic
+                pair order.
+
+        Returns:
+            A dict keyed by the (refdes_a, refdes_b) pair with
+            refdes_a < refdes_b lexicographically.
         """
-        out: dict[tuple[str, str], CouplingResult] = {}
+        tracer = get_tracer()
+        pairs: list[tuple[tuple[str, str], Component, Placement2D, Component, Placement2D]] = []
         for i in range(len(placed)):
             for j in range(i + 1, len(placed)):
                 ref_a, comp_a, pl_a = placed[i]
                 ref_b, comp_b, pl_b = placed[j]
                 key = (ref_a, ref_b) if ref_a < ref_b else (ref_b, ref_a)
-                out[key] = self.coupling(comp_a, pl_a, comp_b, pl_b)
-        return out
+                pairs.append((key, comp_a, pl_a, comp_b, pl_b))
+
+        results: dict[tuple[str, str], CouplingResult] = {}
+        pending = []
+        for entry in pairs:
+            key, comp_a, pl_a, comp_b, pl_b = entry
+            cached = self.peek(comp_a, pl_a, comp_b, pl_b)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append(entry)
+
+        if pending:
+            self.misses += len(pending)
+            tracer.count("coupling.cache_misses", len(pending))
+            tasks: list[CouplingTask] = [
+                (comp_a, pl_a, comp_b, pl_b, self.ground_plane_z, self.order)
+                for _, comp_a, pl_a, comp_b, pl_b in pending
+            ]
+            if executor is not None and executor.is_parallel and len(tasks) > 1:
+                with tracer.span("coupling.field_solve"):
+                    computed = executor.map(evaluate_coupling_task, tasks)
+            else:
+                computed = []
+                for task in tasks:
+                    with tracer.span("coupling.field_solve"):
+                        computed.append(evaluate_coupling_task(task))
+            for entry, result in zip(pending, computed, strict=True):
+                key, comp_a, pl_a, comp_b, pl_b = entry
+                results[key] = self.store(comp_a, pl_a, comp_b, pl_b, result)
+
+        # Deterministic map order regardless of which pairs were cached.
+        return {entry[0]: results[entry[0]] for entry in pairs}
 
     def cache_size(self) -> int:
-        """Number of stored field simulations."""
+        """Number of field simulations held in memory."""
         return len(self._cache)
 
     @property
     def stats(self) -> CacheStats:
         """Current hit/miss accounting as an immutable snapshot."""
-        return CacheStats(hits=self.hits, misses=self.misses, size=len(self._cache))
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._cache),
+            persistent_hits=self.persistent_hits,
+            persistent_stale=self.persistent.stale if self.persistent is not None else 0,
+        )
 
     def clear(self) -> None:
-        """Drop all cached results and counters."""
+        """Drop the in-memory cache and counters (the disk tier survives)."""
         self._cache.clear()
+        self._fingerprints.clear()
         self.hits = 0
         self.misses = 0
+        self.persistent_hits = 0

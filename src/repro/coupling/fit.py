@@ -26,20 +26,44 @@ __all__ = ["PowerLawFit", "fit_power_law"]
 
 @dataclass(frozen=True)
 class PowerLawFit:
-    """``|k|(d) = c * d**(-n)`` with goodness-of-fit metadata."""
+    """``|k|(d) = c * d**(-n)`` with goodness-of-fit metadata.
+
+    Attributes:
+        c: amplitude of the law [m^n] — |k| at d = 1 m (dimensionally it
+            absorbs the exponent, so compare amplitudes only between fits
+            with similar n).
+        n: decay exponent [-]; a free-space dipole pair gives n = 3.
+        r_squared: coefficient of determination of the fit [-], in
+            (-inf, 1], computed on the linear (not log) residuals.
+    """
 
     c: float
     n: float
     r_squared: float
 
     def predict(self, distance: float | np.ndarray) -> float | np.ndarray:
-        """|k| at a distance [m]."""
+        """Unsigned coupling factor |k| [-] at a distance.
+
+        Args:
+            distance: centre-to-centre distance(s) [m], strictly positive
+                (the power law diverges at zero).
+
+        Returns:
+            A scalar for scalar input, else an array of the same shape.
+        """
         d = np.asarray(distance, dtype=float)
         result = self.c * d ** (-self.n)
         return float(result) if np.ndim(distance) == 0 else result
 
     def distance_for_coupling(self, k_target: Dimensionless) -> Meters:
         """Distance at which the coupling falls to ``k_target`` (the PEMD).
+
+        Args:
+            k_target: unsigned coupling factor [-] to invert the law at,
+                strictly positive.
+
+        Returns:
+            The distance [m] where ``predict`` equals ``k_target``.
 
         Raises:
             ValueError: for non-positive targets.
@@ -54,9 +78,12 @@ def fit_power_law(distances: np.ndarray, couplings: np.ndarray) -> PowerLawFit:
 
     Args:
         distances: distances [m], strictly positive.
-        couplings: |k| values, strictly positive (zeros are dropped with
-            their distances — a decoupled orientation contributes nothing
-            to a distance law).
+        couplings: |k| values [-], strictly positive (zeros are dropped
+            with their distances — a decoupled orientation contributes
+            nothing to a distance law).
+
+    Returns:
+        The fitted :class:`PowerLawFit` (amplitude, exponent, R^2).
 
     Raises:
         ValueError: with fewer than 3 usable points.

@@ -21,7 +21,13 @@ from ..peec import (
 )
 from ..units import Dimensionless, Henries, Meters
 
-__all__ = ["CouplingResult", "component_coupling", "pair_coupling_factor"]
+__all__ = [
+    "CouplingResult",
+    "CouplingTask",
+    "component_coupling",
+    "evaluate_coupling_task",
+    "pair_coupling_factor",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,28 @@ def component_coupling(
     k = max(-1.0, min(1.0, k))
     return CouplingResult(
         k=k, mutual_h=m, self_a_h=la, self_b_h=lb, shielded=ground_plane_z is not None
+    )
+
+
+#: One deferred :func:`component_coupling` call, picklable for process fan-out.
+CouplingTask = tuple[Component, Placement2D, Component, Placement2D, "Meters | None", int]
+
+
+def evaluate_coupling_task(task: CouplingTask) -> CouplingResult:
+    """Run one packed field simulation — the executor's unit of work.
+
+    Module-level so :class:`repro.parallel.CouplingExecutor` can ship it to
+    worker processes by name; pure, so a serial fallback can re-run it.
+
+    Args:
+        task: ``(comp_a, placement_a, comp_b, placement_b, ground_plane_z,
+            order)`` exactly as :func:`component_coupling` takes them
+            (positions [m], rotations [rad], plane height [m] or ``None``,
+            quadrature order dimensionless).
+    """
+    comp_a, placement_a, comp_b, placement_b, ground_plane_z, order = task
+    return component_coupling(
+        comp_a, placement_a, comp_b, placement_b, ground_plane_z, order
     )
 
 

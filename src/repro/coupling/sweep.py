@@ -9,6 +9,12 @@ else fixed:
   orthogonality rule and the Fig. 10 cos(alpha) law);
 * :func:`angular_position_sweep` — a victim orbiting a source at fixed
   radius (Fig. 8's preferred positions around CM chokes).
+
+Every sweep accepts two optional accelerators (see docs/PERFORMANCE.md):
+an ``executor`` fans the per-point field simulations out over worker
+processes, and a ``database`` answers points from its cache tiers first
+and stores fresh solves for the next run.  Results are identical to the
+serial, uncached evaluation in every combination.
 """
 
 from __future__ import annotations
@@ -18,10 +24,122 @@ import numpy as np
 from ..components import Component
 from ..geometry import Placement2D, Vec2
 from ..obs import get_tracer
+from ..parallel import CouplingExecutor
 from ..units import Degrees, Meters
-from .pair import component_coupling
+from .database import CouplingDatabase
+from .pair import CouplingTask, evaluate_coupling_task
 
 __all__ = ["distance_sweep", "rotation_sweep", "angular_position_sweep"]
+
+#: Default Gauss–Legendre order of the per-point field simulations, kept in
+#: lockstep with :func:`repro.coupling.pair.component_coupling`.
+_SWEEP_ORDER = 8
+
+
+def _validated_distances(distances: np.ndarray) -> np.ndarray:
+    """Distance grid checked for the silent-NaN failure modes.
+
+    A NaN or infinite entry sails through a plain ``d <= 0`` test (NaN
+    compares false) and used to surface only as NaN couplings much later;
+    a non-monotonic grid breaks the power-law fits downstream.  Both are
+    rejected here with a clear message instead.
+
+    Args:
+        distances: centre-to-centre distances [m].
+
+    Raises:
+        ValueError: when empty, non-finite, non-positive or not strictly
+            increasing.
+    """
+    d = np.atleast_1d(np.asarray(distances, dtype=float))
+    if d.size == 0:
+        raise ValueError("distances must not be empty")
+    if not np.all(np.isfinite(d)):
+        raise ValueError("distances must be finite (got NaN or infinity)")
+    if np.any(d <= 0.0):
+        raise ValueError("distances must be strictly positive")
+    if d.size > 1 and not np.all(np.diff(d) > 0.0):
+        raise ValueError("distances must be strictly increasing")
+    return d
+
+
+def _validated_scalar(value: float, name: str) -> float:
+    """A strictly positive, finite scalar length [m], or ValueError."""
+    v = float(value)
+    if not np.isfinite(v) or v <= 0.0:
+        raise ValueError(f"{name} must be finite and positive, got {value!r}")
+    return v
+
+
+def _validated_angles(angles_deg: np.ndarray) -> np.ndarray:
+    """A finite angle grid [deg], or ValueError (NaN angles → NaN k)."""
+    a = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+    if a.size == 0:
+        raise ValueError("angles must not be empty")
+    if not np.all(np.isfinite(a)):
+        raise ValueError("angles must be finite (got NaN or infinity)")
+    return a
+
+
+def _signed_couplings(
+    comp_a: Component,
+    place_a: Placement2D,
+    comp_b: Component,
+    placements_b: list[Placement2D],
+    ground_plane_z: Meters | None,
+    executor: CouplingExecutor | None,
+    database: CouplingDatabase | None,
+) -> np.ndarray:
+    """Signed k for component B at each placement, accelerated if asked.
+
+    The single evaluation engine behind all three sweeps: cache lookups
+    through ``database`` (when given), misses computed via ``executor``
+    (when parallel) or inline, results returned in placement order.
+    """
+    if database is not None:
+        if ground_plane_z is not None:
+            database.ground_plane_z = ground_plane_z
+        ground_plane_z = database.ground_plane_z
+        order = database.order
+    else:
+        order = _SWEEP_ORDER
+
+    results: list[object | None] = [None] * len(placements_b)
+    pending: list[int] = []
+    if database is not None:
+        for i, place_b in enumerate(placements_b):
+            cached = database.peek(comp_a, place_a, comp_b, place_b)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(placements_b)))
+
+    if pending:
+        tasks: list[CouplingTask] = [
+            (comp_a, place_a, comp_b, placements_b[i], ground_plane_z, order)
+            for i in pending
+        ]
+        tracer = get_tracer()
+        if database is not None:
+            database.misses += len(pending)
+            tracer.count("coupling.cache_misses", len(pending))
+        if executor is not None and executor.is_parallel and len(tasks) > 1:
+            with tracer.span("coupling.field_solve"):
+                computed = executor.map(evaluate_coupling_task, tasks)
+        else:
+            computed = []
+            for task in tasks:
+                with tracer.span("coupling.field_solve"):
+                    computed.append(evaluate_coupling_task(task))
+        for i, result in zip(pending, computed, strict=True):
+            if database is not None:
+                result = database.store(
+                    comp_a, place_a, comp_b, placements_b[i], result
+                )
+            results[i] = result
+    return np.array([r.k for r in results])  # type: ignore[union-attr]
 
 
 def distance_sweep(
@@ -32,31 +150,42 @@ def distance_sweep(
     rotation_b_deg: Degrees = 0.0,
     direction_deg: Degrees = 0.0,
     ground_plane_z: Meters | None = None,
+    executor: CouplingExecutor | None = None,
+    database: CouplingDatabase | None = None,
 ) -> np.ndarray:
     """|k| versus centre-to-centre distance.
 
     Component A sits at the origin; B moves along ``direction_deg``.
 
     Args:
-        distances: centre-to-centre distances [m], strictly positive.
+        comp_a, comp_b: the component pair (local-frame field models).
+        distances: centre-to-centre distances [m] — strictly positive,
+            finite and strictly increasing (non-finite or unsorted grids
+            raise instead of silently producing NaN couplings).
+        rotation_a_deg, rotation_b_deg: fixed component rotations [deg].
+        direction_deg: bearing of B from A [deg].
+        ground_plane_z: optional shielding plane height [m].
+        executor: optional process fan-out for the field simulations.
+        database: optional cache tiers consulted/filled per point.
 
     Returns:
         Unsigned coupling factors, same shape as ``distances``.
     """
-    d = np.asarray(distances, dtype=float)
-    if np.any(d <= 0.0):
-        raise ValueError("distances must be positive")
+    d = _validated_distances(distances)
     tracer = get_tracer()
     with tracer.span("coupling.sweep.distance"):
         tracer.count("coupling.sweep_points", len(d))
         place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
         direction = Vec2.from_polar(1.0, np.deg2rad(direction_deg))
-        out = np.empty_like(d)
-        for i, dist in enumerate(d):
-            place_b = Placement2D(direction * float(dist), np.deg2rad(rotation_b_deg))
-            out[i] = abs(
-                component_coupling(comp_a, place_a, comp_b, place_b, ground_plane_z).k
+        placements_b = [
+            Placement2D(direction * float(dist), np.deg2rad(rotation_b_deg))
+            for dist in d
+        ]
+        out = np.abs(
+            _signed_couplings(
+                comp_a, place_a, comp_b, placements_b, ground_plane_z, executor, database
             )
+        )
     return out
 
 
@@ -67,25 +196,34 @@ def rotation_sweep(
     angles_deg: np.ndarray,
     rotation_a_deg: Degrees = 0.0,
     ground_plane_z: Meters | None = None,
+    executor: CouplingExecutor | None = None,
+    database: CouplingDatabase | None = None,
 ) -> np.ndarray:
     """Signed k versus the rotation of component B at a fixed distance.
 
     B sits on the +x axis at ``distance``; its rotation sweeps through
     ``angles_deg``.  The cosine shape of the result is what justifies the
     placer's ``EMD = PEMD * |cos(alpha)|`` reduction.
+
+    Args:
+        comp_a, comp_b: the component pair (local-frame field models).
+        distance: fixed centre-to-centre distance [m], finite and positive.
+        angles_deg: rotations of B to evaluate [deg], finite.
+        rotation_a_deg: fixed rotation of A [deg].
+        ground_plane_z: optional shielding plane height [m].
+        executor: optional process fan-out for the field simulations.
+        database: optional cache tiers consulted/filled per point.
     """
-    if distance <= 0.0:
-        raise ValueError("distance must be positive")
+    dist = _validated_scalar(distance, "distance")
+    angles = _validated_angles(angles_deg)
     tracer = get_tracer()
     with tracer.span("coupling.sweep.rotation"):
-        tracer.count("coupling.sweep_points", len(angles_deg))
+        tracer.count("coupling.sweep_points", len(angles))
         place_a = Placement2D.at(0.0, 0.0, rotation_a_deg)
-        out = np.empty(len(angles_deg), dtype=float)
-        for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
-            place_b = Placement2D.at(distance, 0.0, float(ang))
-            out[i] = component_coupling(
-                comp_a, place_a, comp_b, place_b, ground_plane_z
-            ).k
+        placements_b = [Placement2D.at(dist, 0.0, float(ang)) for ang in angles]
+        out = _signed_couplings(
+            comp_a, place_a, comp_b, placements_b, ground_plane_z, executor, database
+        )
     return out
 
 
@@ -97,6 +235,8 @@ def angular_position_sweep(
     victim_faces_source: bool = True,
     victim_rotation_deg: Degrees = 0.0,
     ground_plane_z: Meters | None = None,
+    executor: CouplingExecutor | None = None,
+    database: CouplingDatabase | None = None,
 ) -> np.ndarray:
     """|k| versus the victim's angular position around a fixed source.
 
@@ -108,21 +248,32 @@ def angular_position_sweep(
     The Fig. 8 reproduction runs this for the 2- and 3-winding CM chokes:
     the 2-winding curve has deep decoupled minima, the 3-winding one does
     not.
+
+    Args:
+        source, victim: the component pair (local-frame field models).
+        radius: orbit radius [m], finite and strictly positive (a NaN
+            radius used to propagate into NaN couplings; it raises now).
+        angles_deg: orbit angles to evaluate [deg], finite.
+        victim_faces_source: tie the victim rotation to the orbit angle.
+        victim_rotation_deg: fixed victim rotation [deg] when not facing.
+        ground_plane_z: optional shielding plane height [m].
+        executor: optional process fan-out for the field simulations.
+        database: optional cache tiers consulted/filled per point.
     """
-    if radius <= 0.0:
-        raise ValueError("radius must be positive")
+    r = _validated_scalar(radius, "radius")
+    angles = _validated_angles(angles_deg)
     tracer = get_tracer()
     with tracer.span("coupling.sweep.angular_position"):
-        tracer.count("coupling.sweep_points", len(angles_deg))
+        tracer.count("coupling.sweep_points", len(angles))
         place_src = Placement2D.at(0.0, 0.0, 0.0)
-        out = np.empty(len(angles_deg), dtype=float)
-        for i, ang in enumerate(np.asarray(angles_deg, dtype=float)):
-            pos = Vec2.from_polar(radius, np.deg2rad(float(ang)))
+        placements_vic = []
+        for ang in angles:
+            pos = Vec2.from_polar(r, np.deg2rad(float(ang)))
             rot = float(ang) + 90.0 if victim_faces_source else victim_rotation_deg
-            place_vic = Placement2D(pos, np.deg2rad(rot))
-            out[i] = abs(
-                component_coupling(
-                    source, place_src, victim, place_vic, ground_plane_z
-                ).k
+            placements_vic.append(Placement2D(pos, np.deg2rad(rot)))
+        out = np.abs(
+            _signed_couplings(
+                source, place_src, victim, placements_vic, ground_plane_z, executor, database
             )
+        )
     return out

@@ -1,0 +1,36 @@
+"""Execution layer for the coupling hot path: fan-out and persistence.
+
+The paper's workflow pays for many pairwise field simulations (the
+Figs. 5–8 sweeps, the auto-placement verifications); this package makes
+each one cheap to repeat and cheap to scale:
+
+* :class:`CouplingExecutor` — chunked process-pool map with deterministic
+  result ordering and a graceful serial fallback;
+* :class:`PersistentCouplingCache` — on-disk, content-hash-keyed store of
+  field-simulation results with versioned invalidation;
+* :mod:`~repro.parallel.fingerprint` — the geometry/placement/µ hashing
+  that defines "the same coupling problem" across processes.
+
+The layer is physics-free by design: it never imports the solvers it
+accelerates, so :mod:`repro.coupling` can build on it without cycles.
+Wiring into the flow is documented in ``docs/PERFORMANCE.md``.
+"""
+
+from .cache import PersistentCouplingCache, default_cache_dir
+from .executor import CouplingExecutor
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    component_fingerprint,
+    pair_cache_key,
+    relative_pose_key,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CouplingExecutor",
+    "PersistentCouplingCache",
+    "component_fingerprint",
+    "default_cache_dir",
+    "pair_cache_key",
+    "relative_pose_key",
+]

@@ -1,0 +1,171 @@
+"""Persistent on-disk cache for coupling results, keyed by content hash.
+
+The paper motivates its whole sensitivity-analysis machinery with the cost
+of field simulation; this cache makes every paid-for field solve reusable
+*across processes and sessions*.  Entries are tiny JSON files keyed by the
+SHA-256 content hash of the problem inputs (see
+:mod:`repro.parallel.fingerprint`), stored two-level-sharded under a cache
+directory:
+
+``<cache_dir>/<key[:2]>/<key>.json``
+
+Semantics (documented in full in ``docs/PERFORMANCE.md``):
+
+* **hit** — the file exists and carries the expected schema version;
+* **miss** — no file;
+* **stale** — the file exists but its schema version differs (or the JSON
+  is unreadable); stale entries are deleted on sight and reported via the
+  ``cache.stale`` counter, which is how a :data:`CACHE_SCHEMA_VERSION`
+  bump invalidates an old store without a manual wipe.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers and
+interrupted runs can never leave a torn entry, and every I/O error
+degrades to a miss — the cache is an accelerator, never a correctness
+dependency.
+
+The store is payload-agnostic: it persists plain JSON dictionaries.  The
+:class:`repro.coupling.CouplingDatabase` owns the mapping between
+``CouplingResult`` and its dictionary form, keeping this layer free of any
+physics imports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..obs import get_tracer
+from .fingerprint import CACHE_SCHEMA_VERSION
+
+__all__ = ["PersistentCouplingCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location.
+
+    ``$REPRO_EMI_CACHE_DIR`` wins when set; otherwise
+    ``$XDG_CACHE_HOME/repro-emi/coupling`` (falling back to
+    ``~/.cache/repro-emi/coupling``).
+    """
+    override = os.environ.get("REPRO_EMI_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-emi" / "coupling"
+
+
+class PersistentCouplingCache:
+    """Content-addressed JSON store for field-simulation results.
+
+    Args:
+        cache_dir: directory holding the entries; created lazily on the
+            first write.  Defaults to :func:`default_cache_dir`.
+        version: schema version expected of every entry; entries written
+            under another version are treated as stale (dimensionless
+            count, compared exactly).
+
+    Attributes:
+        hits, misses, stale, writes: lifetime operation counts of this
+            instance (the on-disk store itself is shared and unaffected).
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, version: int = CACHE_SCHEMA_VERSION):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.writes = 0
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key (two-level sharding by hex prefix)."""
+        return self.cache_dir.joinpath(key[:2], f"{key}.json")
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on miss/stale.
+
+        Counts ``cache.hit`` / ``cache.miss`` / ``cache.stale`` on the
+        active tracer; stale or unreadable entries are deleted.
+        """
+        tracer = get_tracer()
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            tracer.count("cache.miss")
+            return None
+        try:
+            document = json.loads(raw)
+            stored_version = int(document["version"])
+            payload = document["payload"]
+        except (ValueError, TypeError, KeyError):
+            document = None
+            stored_version = -1
+            payload = None
+        if payload is None or stored_version != self.version or not isinstance(payload, dict):
+            self.stale += 1
+            tracer.count("cache.stale")
+            self._discard(path)
+            return None
+        self.hits += 1
+        tracer.count("cache.hit")
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist a payload under ``key`` (best effort).
+
+        I/O failures (read-only filesystem, disk full) are swallowed: the
+        result simply is not cached.  Counts ``cache.write`` on success.
+        """
+        path = self.path_for(key)
+        document = {"version": self.version, "key": key, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._discard(Path(tmp_name))
+                raise
+        except OSError:
+            return
+        self.writes += 1
+        get_tracer().count("cache.write")
+
+    def clear(self) -> int:
+        """Delete every entry under the cache directory; returns the count."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return removed
+        for entry in sorted(self.cache_dir.glob("*/*.json")):
+            self._discard(entry)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (any schema version)."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PersistentCouplingCache({str(self.cache_dir)!r}, v{self.version}, "
+            f"hits={self.hits}, misses={self.misses}, stale={self.stale})"
+        )

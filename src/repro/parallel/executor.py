@@ -1,0 +1,158 @@
+"""Process-pool fan-out for coupling evaluations — deterministic and safe.
+
+The coupling hot path is embarrassingly parallel: every sweep point and
+every component pair is an independent pure function of its inputs.
+:class:`CouplingExecutor` turns a list of such tasks into chunked
+submissions to a ``ProcessPoolExecutor`` while keeping three guarantees
+the rest of the repository relies on (see ``docs/PERFORMANCE.md``):
+
+* **deterministic ordering** — results come back in task order regardless
+  of which worker finished first;
+* **bitwise-identical numerics** — the same function runs on the same
+  inputs in every mode, so parallel and serial results agree exactly
+  (the 1e-12 bound in the tests is satisfied with equality);
+* **graceful serial fallback** — ``workers=1`` never touches
+  ``multiprocessing``, and any failure of the parallel machinery
+  (unpicklable task, broken worker, sandboxed environment) falls back to
+  an in-process run.  Task functions must therefore be *pure*: a fallback
+  re-executes them from scratch.
+
+Counters: ``parallel.tasks`` (tasks requested), ``parallel.chunks``
+(pool submissions), ``parallel.fallbacks`` (parallel phases that degraded
+to serial).  The fan-out itself runs under a ``parallel.map`` span.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from ..obs import get_tracer
+
+__all__ = ["CouplingExecutor"]
+
+#: Target number of chunks per worker; larger spreads load, smaller cuts
+#: pickling overhead.  4 keeps the tail worker busy without flooding IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+def _run_chunk(payload: bytes) -> list[Any]:
+    """Worker-side entry: apply ``fn`` to every item of one chunk, in order.
+
+    The payload is a pre-pickled ``(fn, items)`` pair: serialising in the
+    parent (see :meth:`CouplingExecutor._map_parallel`) turns an
+    unpicklable task into a synchronous error with a clean serial
+    fallback, instead of an asynchronous failure inside the pool's feeder
+    thread that can wedge the pool beyond recovery.
+    """
+    fn, items = pickle.loads(payload)
+    return [fn(item) for item in items]
+
+
+class CouplingExecutor:
+    """Chunked, order-preserving parallel map over pure task functions.
+
+    Args:
+        workers: process count; ``1`` (the default) means strictly serial,
+            in-process execution with zero multiprocessing imports on the
+            hot path (dimensionless count).
+        chunk_size: tasks per pool submission; ``None`` derives
+            ``ceil(n / (workers * 4))`` from the task count (dimensionless
+            count).
+
+    The worker pool is created lazily on the first parallel map and kept
+    alive across calls (fork startup is cheap, but re-forking per sweep is
+    not free); :meth:`close` — or use as a context manager — releases it.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: int | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: Any | None = None
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this executor fans out to worker processes at all."""
+        return self.workers > 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply a pure, picklable, module-level ``fn`` to every task.
+
+        Args:
+            fn: task function; must be importable by name in a fresh
+                process (a module-level ``def``) for the parallel path.
+            tasks: the task payloads, each picklable for the parallel path.
+
+        Returns:
+            ``[fn(t) for t in tasks]`` — same values, same order, in every
+            execution mode.  Exceptions raised by ``fn`` propagate (after
+            an automatic serial retry when they first surface in a worker,
+            so a physics ``ValueError`` is never misreported as a pool
+            failure).
+        """
+        items = list(tasks)
+        tracer = get_tracer()
+        tracer.count("parallel.tasks", len(items))
+        if not self.is_parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        with tracer.span("parallel.map"):
+            try:
+                return self._map_parallel(fn, items)
+            except Exception:
+                # Unpicklable payloads, a broken/forbidden pool, or a task
+                # error inside a worker all land here.  Re-running serially
+                # is always correct for pure tasks: genuine task errors
+                # re-raise with their original type and traceback.
+                tracer.count("parallel.fallbacks")
+                self.close()
+                return [fn(item) for item in items]
+
+    def _map_parallel(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+        tracer = get_tracer()
+        size = self.chunk_size
+        if size is None:
+            # workers >= 1 is enforced in __init__; the clamp is belt-and-braces.
+            size = max(1, -(-len(items) // max(1, self.workers * _CHUNKS_PER_WORKER)))
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        # Pickle in the parent: raises here (and falls back serially) for
+        # unpicklable tasks rather than poisoning the pool's feeder thread.
+        payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+        tracer.count("parallel.chunks", len(chunks))
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+        results: list[Any] = []
+        for future in futures:  # submission order == task order
+            results.extend(future.result())
+        return results
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later map re-creates it).
+
+        Waits for the workers to exit: an abandoned half-shut pool can
+        deadlock the interpreter's exit hooks, and pending tasks are
+        cancelled first so the wait is bounded by one in-flight chunk.
+        """
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "CouplingExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CouplingExecutor(workers={self.workers}, chunk_size={self.chunk_size})"

@@ -1,0 +1,160 @@
+"""Content hashing of coupling-problem inputs — the persistent cache key.
+
+A coupling result is a pure function of
+
+* the two components' **field geometry** (their filament meshes) and
+  **effective-permeability parameters** (``mu_eff``, core stray fraction);
+* the pair's **relative pose** (coupling is invariant under a rigid
+  in-plane motion of the pair, even above a solid ground plane — the
+  plane is horizontal and isotropic in x/y);
+* the **ground-plane height** and each part's board standoff, which break
+  the z-translation symmetry;
+* the **quadrature order** of the field computation.
+
+The fingerprints below hash exactly those ingredients (SHA-256 over the
+raw IEEE-754 doubles, no string formatting) so that a persistent cache
+entry survives process restarts but *never* survives a change to the
+inputs: perturbing a filament endpoint by one ULP produces a different
+key.  A schema version is folded into every key, so bumping
+:data:`CACHE_SCHEMA_VERSION` invalidates the whole store at once.
+
+Relative poses are quantised exactly like the in-memory
+:class:`repro.coupling.CouplingDatabase` key (0.1 mm / 1 degree — far
+below any placement-relevant coupling sensitivity), so both cache tiers
+agree on which poses are "the same".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..components import Component
+    from ..geometry import Placement2D
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "component_fingerprint",
+    "pair_cache_key",
+    "relative_pose_key",
+]
+
+#: Version of the on-disk cache schema.  Bumping it stales every stored
+#: entry (see docs/PERFORMANCE.md, "Cache invalidation").
+CACHE_SCHEMA_VERSION = 1
+
+#: Position quantum of the relative-pose key [m] (0.1 mm).
+_POSE_QUANTUM_M = 1e-4
+
+#: Rotation quantum of the relative-pose key [rad] (1 degree).
+_POSE_QUANTUM_RAD = math.pi / 180.0
+
+
+def _feed_floats(digest: "hashlib._Hash", values: tuple[float, ...]) -> None:
+    """Feed raw little-endian doubles into a running digest."""
+    digest.update(struct.pack(f"<{len(values)}d", *values))
+
+
+def component_fingerprint(component: "Component") -> str:
+    """Content hash of everything about a component the field solver reads.
+
+    Covers the part number, the effective-permeability parameters
+    (``mu_eff`` [-] and core ``stray_fraction`` [-]) and, per filament of
+    the local-frame current path: start/end [m], conductor cross-section
+    [m] and signed turns weight [-].
+
+    Returns:
+        A 64-character hex SHA-256 digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"component-v1\0")
+    digest.update(component.part_number.encode("utf-8"))
+    digest.update(b"\0")
+    _feed_floats(digest, (component.mu_eff, component.core.stray_fraction))
+    for fil in component.current_path.filaments:
+        _feed_floats(
+            digest,
+            (
+                fil.start.x,
+                fil.start.y,
+                fil.start.z,
+                fil.end.x,
+                fil.end.y,
+                fil.end.z,
+                fil.width,
+                fil.thickness,
+                fil.weight,
+            ),
+        )
+    return digest.hexdigest()
+
+
+def relative_pose_key(
+    placement_a: "Placement2D", placement_b: "Placement2D"
+) -> tuple[int, int, int, int, int, int, int]:
+    """Quantised relative pose of B in A's frame.
+
+    Args:
+        placement_a, placement_b: board placements (positions [m],
+            rotations [rad], standoffs [m]).
+
+    Returns:
+        Integer tuple: offset x/y in 0.1 mm steps, rotation difference in
+        whole degrees (mod 360), both board sides, both z standoffs in
+        0.1 mm steps.
+    """
+    rel = placement_b.position - placement_a.position
+    local = rel.rotated(-placement_a.rotation_rad)
+    drot = placement_b.rotation_rad - placement_a.rotation_rad
+    return (
+        round(local.x / _POSE_QUANTUM_M),
+        round(local.y / _POSE_QUANTUM_M),
+        round(drot / _POSE_QUANTUM_RAD) % 360,
+        placement_a.side,
+        placement_b.side,
+        round(placement_a.z_offset / _POSE_QUANTUM_M),
+        round(placement_b.z_offset / _POSE_QUANTUM_M),
+    )
+
+
+def pair_cache_key(
+    fingerprint_a: str,
+    fingerprint_b: str,
+    placement_a: "Placement2D",
+    placement_b: "Placement2D",
+    ground_plane_z: float | None,
+    order: int,
+    version: int = CACHE_SCHEMA_VERSION,
+) -> str:
+    """Persistent cache key for one placed component pair.
+
+    Args:
+        fingerprint_a, fingerprint_b: :func:`component_fingerprint` of the
+            two parts (A is the frame of reference of the relative pose).
+        placement_a, placement_b: board placements.
+        ground_plane_z: shielding-plane height [m], ``None`` for free space.
+        order: Gauss–Legendre quadrature order of the field computation.
+        version: cache schema version folded into the key.
+
+    Returns:
+        A 64-character hex SHA-256 digest.  The key is *not* symmetric in
+        A/B; callers that want the mirrored result must also try the
+        swapped key (see :meth:`repro.coupling.CouplingDatabase.peek`).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"pair-v{version}|order={order}|".encode("ascii"))
+    if ground_plane_z is None:
+        digest.update(b"gp=none|")
+    else:
+        digest.update(b"gp=")
+        _feed_floats(digest, (round(ground_plane_z / _POSE_QUANTUM_M) * 1.0,))
+    digest.update(fingerprint_a.encode("ascii"))
+    digest.update(b"|")
+    digest.update(fingerprint_b.encode("ascii"))
+    digest.update(b"|")
+    pose = relative_pose_key(placement_a, placement_b)
+    digest.update(struct.pack(f"<{len(pose)}q", *pose))
+    return digest.hexdigest()

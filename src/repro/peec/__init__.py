@@ -21,12 +21,15 @@ from .filament import (
     mutual_inductance,
     mutual_inductance_parallel,
     neumann_mutual_inductance,
+    neumann_mutual_matrix,
+    pack_filaments,
     self_inductance_bar,
 )
 from .images import image_path, shielding_factor, with_ground_plane
 from .inductance import (
     coupling_factor,
     loop_self_inductance,
+    mutual_inductance_matrix,
     mutual_inductance_paths,
     mutual_inductance_paths_fast,
     partial_inductance_matrix,
@@ -54,12 +57,15 @@ __all__ = [
     "mutual_inductance",
     "mutual_inductance_parallel",
     "neumann_mutual_inductance",
+    "neumann_mutual_matrix",
+    "pack_filaments",
     "self_inductance_bar",
     "CurrentPath",
     "ring_path",
     "rectangle_path",
     "coupling_factor",
     "loop_self_inductance",
+    "mutual_inductance_matrix",
     "mutual_inductance_paths",
     "mutual_inductance_paths_fast",
     "partial_inductance_matrix",

@@ -35,6 +35,8 @@ __all__ = [
     "mutual_inductance",
     "mutual_inductance_parallel",
     "neumann_mutual_inductance",
+    "neumann_mutual_matrix",
+    "pack_filaments",
     "self_inductance_bar",
 ]
 
@@ -188,6 +190,75 @@ def neumann_mutual_inductance(
     r = np.maximum(r, 1e-12)
     integral = float(weights @ (1.0 / r) @ weights)
     return MU0 / (4.0 * math.pi) * cos_angle * f1.length * f2.length * integral
+
+
+def pack_filaments(
+    filaments: list[Filament],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Filament list as dense arrays for the batched kernels.
+
+    Args:
+        filaments: the segments to pack (geometry in metres).
+
+    Returns:
+        ``(starts, deltas, lengths, weights)`` — shapes ``(n, 3)``,
+        ``(n, 3)``, ``(n,)``, ``(n,)``; starts/deltas/lengths in metres,
+        weights dimensionless signed turn counts.
+    """
+    starts = np.array([[f.start.x, f.start.y, f.start.z] for f in filaments])
+    ends = np.array([[f.end.x, f.end.y, f.end.z] for f in filaments])
+    weights = np.array([f.weight for f in filaments])
+    deltas = ends - starts
+    lengths = np.linalg.norm(deltas, axis=1)
+    return starts, deltas, lengths, weights
+
+
+def neumann_mutual_matrix(
+    filaments_a: list[Filament], filaments_b: list[Filament], order: int = 8
+) -> np.ndarray:
+    """Raw pairwise Neumann mutual inductances as one batched array op [H].
+
+    Vectorises the classic double loop over filament pairs: all
+    ``na * nb`` double integrals are evaluated in a single broadcast over
+    a ``(na, nb, order, order, 3)`` difference tensor.  Geometric weights
+    are *not* applied — entry ``(i, j)`` is the raw partial mutual of
+    ``filaments_a[i]`` against ``filaments_b[j]``, exactly what
+    :func:`neumann_mutual_inductance` returns for that pair (without the
+    perpendicular short-circuit or any subdivision, so the caller owns
+    near-field accuracy — valid for the disjoint paths of a coupling
+    sweep, not for a path against itself).
+
+    Args:
+        filaments_a, filaments_b: the two filament lists (geometry in
+            metres).
+        order: Gauss–Legendre points per filament (dimensionless count).
+
+    Returns:
+        ``(na, nb)`` array of partial mutual inductances [H].
+    """
+    nodes, weights = _gauss_legendre_01(order)
+    s_a, d_a, len_a, _ = pack_filaments(filaments_a)
+    s_b, d_b, len_b, _ = pack_filaments(filaments_b)
+
+    # Quadrature points: (na, g, 3) and (nb, g, 3).
+    p_a = s_a[:, None, :] + nodes[None, :, None] * d_a[:, None, :]
+    p_b = s_b[:, None, :] + nodes[None, :, None] * d_b[:, None, :]
+
+    # Pairwise 1/r integrals: result (na, nb).
+    diff = p_a[:, None, :, None, :] - p_b[None, :, None, :, :]  # (na, nb, g, g, 3)
+    r = np.sqrt(np.einsum("abijk,abijk->abij", diff, diff))
+    r[r < 1e-12] = 1e-12
+    integral = np.einsum("i,j,abij->ab", weights, weights, 1.0 / r)
+
+    # Direction cosines and length products (lengths are >= 1e-12 by the
+    # Filament invariant; the floor only guards hand-packed arrays).
+    len_a[len_a < 1e-12] = 1e-12
+    len_b[len_b < 1e-12] = 1e-12
+    t_a = d_a * (1.0 / len_a)[:, None]
+    t_b = d_b * (1.0 / len_b)[:, None]
+    cos = t_a @ t_b.T
+    scale = (len_a[:, None] * len_b[None, :]) * cos
+    return np.asarray(MU0 / (4.0 * np.pi) * scale * integral)
 
 
 def mutual_inductance_parallel(f1: Filament, f2: Filament) -> Henries:

@@ -17,11 +17,12 @@ import numpy as np
 
 from ..obs import get_tracer
 from ..units import Dimensionless, Henries
-from .filament import Filament, mutual_inductance
+from .filament import Filament, mutual_inductance, neumann_mutual_matrix
 from .mesh import CurrentPath
 
 __all__ = [
     "loop_self_inductance",
+    "mutual_inductance_matrix",
     "mutual_inductance_paths",
     "mutual_inductance_paths_fast",
     "coupling_factor",
@@ -95,52 +96,46 @@ def mutual_inductance_paths(a: CurrentPath, b: CurrentPath, order: int = 12) -> 
     return total
 
 
+def mutual_inductance_matrix(a: CurrentPath, b: CurrentPath, order: int = 8) -> np.ndarray:
+    """Pairwise partial mutuals of two *disjoint* paths as one batch [H].
+
+    A thin path-level wrapper over the vectorised
+    :func:`repro.peec.filament.neumann_mutual_matrix` kernel: the whole
+    filament-pair double loop collapses into numpy broadcasts.  Weights
+    are *not* applied; entry ``(i, j)`` is the raw partial mutual of
+    ``a.filaments[i]`` against ``b.filaments[j]``.
+
+    Args:
+        a, b: the two current paths (geometry in metres); must belong to
+            different components so no filament pair nearly touches.
+        order: Gauss–Legendre points per filament (dimensionless count).
+
+    Returns:
+        ``(len(a), len(b))`` array of partial mutual inductances [H].
+    """
+    tracer = get_tracer()
+    tracer.count("peec.filament_pairs", len(a.filaments) * len(b.filaments))
+    return neumann_mutual_matrix(a.filaments, b.filaments, order)
+
+
 def mutual_inductance_paths_fast(a: CurrentPath, b: CurrentPath, order: int = 8) -> Henries:
     """Vectorised mutual inductance between two *disjoint* paths [H].
 
     Evaluates the Neumann integral for every filament pair in one numpy
-    broadcast.  Valid when the two paths belong to different components —
-    i.e. no filament pair overlaps or nearly touches — which is exactly the
-    coupling-sweep use case; accuracy there is within a fraction of a
-    percent of the scalar :func:`mutual_inductance_paths` at a fraction of
-    the cost.  For a path against itself use :func:`loop_self_inductance`.
+    broadcast (:func:`mutual_inductance_matrix`) and contracts with the
+    signed turn weights.  Valid when the two paths belong to different
+    components — i.e. no filament pair overlaps or nearly touches — which
+    is exactly the coupling-sweep use case; accuracy there is within a
+    fraction of a percent of the scalar :func:`mutual_inductance_paths` at
+    a fraction of the cost.  For a path against itself use
+    :func:`loop_self_inductance`.
     """
-    from .filament import MU0, _gauss_legendre_01
-
     tracer = get_tracer()
     tracer.count("peec.mutual_evals")
-    tracer.count("peec.filament_pairs", len(a.filaments) * len(b.filaments))
-    nodes, weights = _gauss_legendre_01(order)
-    g = len(nodes)
-
-    def pack(path: CurrentPath) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        starts = np.array([[f.start.x, f.start.y, f.start.z] for f in path.filaments])
-        ends = np.array([[f.end.x, f.end.y, f.end.z] for f in path.filaments])
-        w = np.array([f.weight for f in path.filaments])
-        deltas = ends - starts
-        lengths = np.linalg.norm(deltas, axis=1)
-        return starts, deltas, lengths, w
-
-    s_a, d_a, len_a, w_a = pack(a)
-    s_b, d_b, len_b, w_b = pack(b)
-    na, nb = len(len_a), len(len_b)
-
-    # Quadrature points: (na, g, 3) and (nb, g, 3).
-    p_a = s_a[:, None, :] + nodes[None, :, None] * d_a[:, None, :]
-    p_b = s_b[:, None, :] + nodes[None, :, None] * d_b[:, None, :]
-
-    # Pairwise 1/r integrals: result (na, nb).
-    diff = p_a[:, None, :, None, :] - p_b[None, :, None, :, :]  # (na, nb, g, g, 3)
-    r = np.sqrt(np.einsum("abijk,abijk->abij", diff, diff))
-    np.maximum(r, 1e-12, out=r)
-    integral = np.einsum("i,j,abij->ab", weights, weights, 1.0 / r)
-
-    # Direction cosines and length products.
-    t_a = d_a / len_a[:, None]
-    t_b = d_b / len_b[:, None]
-    cos = t_a @ t_b.T
-    scale = (len_a[:, None] * len_b[None, :]) * cos * (w_a[:, None] * w_b[None, :])
-    return float(MU0 / (4.0 * np.pi) * np.sum(scale * integral))
+    matrix = mutual_inductance_matrix(a, b, order)
+    w_a = np.array([f.weight for f in a.filaments])
+    w_b = np.array([f.weight for f in b.filaments])
+    return float(np.sum((w_a[:, None] * w_b[None, :]) * matrix))
 
 
 def coupling_factor(

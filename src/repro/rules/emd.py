@@ -48,6 +48,15 @@ def axis_angle(
 
     Axes are unsigned (a dipole axis has no preferred sign), so the angle is
     folded into the first quadrant.
+
+    Args:
+        comp_a, comp_b: the components (magnetic axes as unit vectors in
+            their local frames).
+        placement_a, placement_b: board placements (positions [m],
+            rotations [rad]).
+
+    Returns:
+        The folded axis angle [rad], in ``[0, pi/2]``.
     """
     axis_a = comp_a.magnetic_axis_world(placement_a)
     axis_b = comp_b.magnetic_axis_world(placement_b)
@@ -67,6 +76,18 @@ def emd_factor(
 
     Floors come from both the components (vertical axes, rotating stray
     fields) and the rule itself (measured perpendicular-axes coupling).
+
+    Args:
+        comp_a, comp_b: the components (each carries its own decoupling
+            residual [-]).
+        placement_a, placement_b: board placements (positions [m],
+            rotations [rad]).
+        rule_residual: rotation-proof fraction of the rule itself [-],
+            in [0, 1] — from the perpendicular-axes sweep of the PEMD
+            derivation.
+
+    Returns:
+        The dimensionless factor multiplying the PEMD, in [0, 1].
     """
     alpha = axis_angle(comp_a, placement_a, comp_b, placement_b)
     floor = max(
@@ -79,6 +100,14 @@ def effective_min_distance(
     pemd: Meters, alpha_rad: Radians, residual: Dimensionless = 0.0
 ) -> Meters:
     """``EMD = PEMD * max(|cos(alpha)|, residual)``.
+
+    Args:
+        pemd: parallel-axes minimum distance [m], non-negative.
+        alpha_rad: angle between the magnetic axes [rad].
+        residual: rotation-proof fraction [-], in [0, 1].
+
+    Returns:
+        The effective minimum distance [m].
 
     Raises:
         ValueError: for a negative PEMD or a residual outside [0, 1].
@@ -98,7 +127,22 @@ def emd_for_pair(
     pemd: Meters,
     rule_residual: Dimensionless = 0.0,
 ) -> Meters:
-    """Effective minimum distance for a placed pair under its PEMD rule."""
+    """Effective minimum distance for a placed pair under its PEMD rule.
+
+    Args:
+        comp_a, comp_b: the components (local-frame magnetic axes).
+        placement_a, placement_b: board placements (positions [m],
+            rotations [rad]).
+        pemd: parallel-axes minimum distance of the rule [m].
+        rule_residual: rotation-proof fraction of the rule [-], in [0, 1].
+
+    Returns:
+        The effective minimum distance [m] at the pair's current
+        orientations.
+
+    Raises:
+        ValueError: for a negative PEMD.
+    """
     if pemd < 0.0:
         raise ValueError("pemd must be non-negative")
     return pemd * emd_factor(
@@ -107,5 +151,9 @@ def emd_for_pair(
 
 
 def worst_case_emd(pemd: Meters) -> Meters:
-    """EMD at parallel axes — the value the rotation optimiser reduces."""
+    """EMD at parallel axes [m] — the value the rotation optimiser reduces.
+
+    Args:
+        pemd: parallel-axes minimum distance [m].
+    """
     return pemd

@@ -22,6 +22,12 @@ from repro.placement import Board, PlacedComponent, PlacementProblem
 from repro.rules import MinDistanceRule, RuleSet
 
 
+@pytest.fixture(autouse=True)
+def _isolated_coupling_cache(monkeypatch, tmp_path):
+    """Keep the persistent coupling cache out of the user's ~/.cache."""
+    monkeypatch.setenv("REPRO_EMI_CACHE_DIR", str(tmp_path / "coupling-cache"))
+
+
 @pytest.fixture
 def x2_cap():
     return FilmCapacitorX2()

@@ -111,6 +111,61 @@ class TestRulesCommand:
         assert "PEMD" in capsys.readouterr().out
 
 
+class TestPerformanceFlags:
+    def _bare_file(self, tmp_path):
+        problem = build_small_problem(with_rules=False)
+        src = tmp_path / "bare.txt"
+        src.write_text(write_problem(problem))
+        return src
+
+    def test_rules_parser_accepts_perf_flags(self):
+        args = build_parser().parse_args(
+            ["rules", "board.txt", "--workers", "4", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.no_cache is True
+        assert args.cache_dir is None
+
+    def test_rules_warm_cache_reports_disk_hits(self, tmp_path, capsys):
+        src = self._bare_file(tmp_path)
+        cache_dir = tmp_path / "cache"
+        argv = ["rules", str(src), "--max-pairs", "2", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 from disk" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "field solve(s)" in warm
+        assert "(0 from disk)" not in warm  # warm run answers from disk
+
+    def test_rules_no_cache_never_touches_disk(self, tmp_path, capsys):
+        src = self._bare_file(tmp_path)
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "rules", str(src), "--max-pairs", "2",
+            "--cache-dir", str(cache_dir), "--no-cache",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_rules_parallel_matches_serial(self, tmp_path, capsys):
+        src = self._bare_file(tmp_path)
+        assert main(["rules", str(src), "--max-pairs", "2", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                ["rules", str(src), "--max-pairs", "2", "--no-cache",
+                 "--workers", "2"]
+            )
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        # The printed PEMD lines carry the derived values; they must agree.
+        pemd = [line for line in serial.splitlines() if "PEMD" in line]
+        assert pemd == [line for line in parallel.splitlines() if "PEMD" in line]
+
+
 class TestCompactCommand:
     def test_compacts_and_reports(self, placed_file, tmp_path, capsys):
         out = tmp_path / "compact.txt"

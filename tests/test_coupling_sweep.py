@@ -29,6 +29,28 @@ class TestDistanceSweep:
         with pytest.raises(ValueError):
             distance_sweep(x2_cap, FilmCapacitorX2(), np.array([0.0, 0.01]))
 
+    def test_nan_distance_raises_instead_of_nan_result(self, x2_cap):
+        # NaN passes a plain "<= 0" check (NaN comparisons are false) and
+        # used to surface only as NaN couplings downstream.
+        with pytest.raises(ValueError, match="finite"):
+            distance_sweep(x2_cap, FilmCapacitorX2(), np.array([0.02, np.nan]))
+
+    def test_infinite_distance_raises(self, x2_cap):
+        with pytest.raises(ValueError, match="finite"):
+            distance_sweep(x2_cap, FilmCapacitorX2(), np.array([0.02, np.inf]))
+
+    def test_non_monotone_distances_raise(self, x2_cap):
+        with pytest.raises(ValueError, match="increasing"):
+            distance_sweep(x2_cap, FilmCapacitorX2(), np.array([0.03, 0.02]))
+
+    def test_duplicate_distances_raise(self, x2_cap):
+        with pytest.raises(ValueError, match="increasing"):
+            distance_sweep(x2_cap, FilmCapacitorX2(), np.array([0.02, 0.02]))
+
+    def test_empty_distances_raise(self, x2_cap):
+        with pytest.raises(ValueError, match="empty"):
+            distance_sweep(x2_cap, FilmCapacitorX2(), np.array([]))
+
     def test_ground_plane_passthrough(self, x2_cap):
         ds = np.array([0.03, 0.05])
         free = distance_sweep(x2_cap, FilmCapacitorX2(), ds)
@@ -60,6 +82,14 @@ class TestRotationSweep:
         with pytest.raises(ValueError):
             rotation_sweep(x2_cap, FilmCapacitorX2(), 0.0, np.array([0.0]))
 
+    def test_nan_distance_raises(self, x2_cap):
+        with pytest.raises(ValueError, match="finite"):
+            rotation_sweep(x2_cap, FilmCapacitorX2(), float("nan"), np.array([0.0]))
+
+    def test_nan_angle_raises(self, x2_cap):
+        with pytest.raises(ValueError, match="finite"):
+            rotation_sweep(x2_cap, FilmCapacitorX2(), 0.03, np.array([0.0, np.nan]))
+
 
 class TestAngularPositionSweep:
     def test_symmetry_around_choke(self, x2_cap):
@@ -85,4 +115,10 @@ class TestAngularPositionSweep:
         with pytest.raises(ValueError):
             angular_position_sweep(
                 small_bobbin_choke(), x2_cap, -0.01, np.array([0.0])
+            )
+
+    def test_nan_radius_raises_instead_of_nan_result(self, x2_cap):
+        with pytest.raises(ValueError, match="finite"):
+            angular_position_sweep(
+                small_bobbin_choke(), x2_cap, float("nan"), np.array([0.0, 90.0])
             )

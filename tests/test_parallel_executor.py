@@ -1,0 +1,103 @@
+"""Unit tests for the CouplingExecutor fan-out (repro.parallel.executor)."""
+
+import pytest
+
+from repro.obs import disable, enable
+from repro.parallel import CouplingExecutor
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_seven(x):
+    if x == 7:
+        raise ValueError("seven is not allowed")
+    return x
+
+
+class TestConstruction:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            CouplingExecutor(workers=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            CouplingExecutor(workers=2, chunk_size=0)
+
+    def test_is_parallel(self):
+        assert not CouplingExecutor(workers=1).is_parallel
+        assert CouplingExecutor(workers=2).is_parallel
+
+
+class TestSerial:
+    def test_map_serial(self):
+        ex = CouplingExecutor(workers=1)
+        assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_serial_never_creates_pool(self):
+        ex = CouplingExecutor(workers=1)
+        ex.map(_square, range(10))
+        assert ex._pool is None
+
+    def test_single_item_stays_in_process(self):
+        ex = CouplingExecutor(workers=4)
+        assert ex.map(_square, [3]) == [9]
+        assert ex._pool is None
+
+
+class TestParallel:
+    def test_map_parallel_matches_serial_in_order(self):
+        with CouplingExecutor(workers=2) as ex:
+            result = ex.map(_square, range(37))
+        assert result == [x * x for x in range(37)]
+
+    def test_explicit_chunk_size(self):
+        with CouplingExecutor(workers=2, chunk_size=3) as ex:
+            result = ex.map(_square, range(10))
+        assert result == [x * x for x in range(10)]
+
+    def test_pool_reused_across_maps(self):
+        with CouplingExecutor(workers=2) as ex:
+            ex.map(_square, range(8))
+            pool = ex._pool
+            ex.map(_square, range(8))
+            assert ex._pool is pool
+
+    def test_close_is_idempotent(self):
+        ex = CouplingExecutor(workers=2)
+        ex.map(_square, range(8))
+        ex.close()
+        ex.close()
+        assert ex._pool is None
+
+
+class TestFallback:
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # A lambda cannot be shipped to a worker by name; the executor must
+        # deliver the correct result anyway.
+        with CouplingExecutor(workers=2) as ex:
+            result = ex.map(lambda x: x + 1, range(20))
+        assert result == list(range(1, 21))
+
+    def test_task_error_reraises_original_type(self):
+        with CouplingExecutor(workers=2) as ex, pytest.raises(ValueError, match="seven"):
+            ex.map(_raise_on_seven, range(20))
+
+
+class TestCounters:
+    def test_task_chunk_and_fallback_counters(self):
+        tracer = enable()
+        try:
+            with CouplingExecutor(workers=2, chunk_size=5) as ex:
+                ex.map(_square, range(20))
+                ex.map(lambda x: x, range(4))
+            report = tracer.report()
+        finally:
+            disable()
+        counters = report.totals()
+        assert counters["parallel.tasks"] == 24
+        # Only the successful map counts chunks: the unpicklable one fails
+        # at payload serialisation, before any pool submission.
+        assert counters["parallel.chunks"] == 4
+        assert counters["parallel.fallbacks"] == 1
