@@ -22,6 +22,7 @@ from repro.components import (
 )
 from repro.coupling import CouplingDatabase
 from repro.geometry import Placement2D, Polygon2D
+from repro.obs import get_tracer
 from repro.parallel import CouplingExecutor, PersistentCouplingCache
 from repro.placement import AutoPlacer, Board, PlacedComponent, PlacementProblem
 from repro.rules import MinDistanceRule, RuleSet
@@ -57,12 +58,16 @@ def test_scaling_placer(benchmark, record):
     sizes = (8, 16, 24, 32, 48)
     rows = []
     timings = {}
+    tracer = get_tracer()
     for n in sizes:
         problem = build_problem(n)
         t0 = time.perf_counter()
         report = AutoPlacer(problem).run()
         elapsed = time.perf_counter() - t0
         timings[n] = elapsed
+        # Per-size scalars for the perf-history trajectory (BENCH json +
+        # perf-history.jsonl), so `perf history --stats` can chart growth.
+        tracer.gauge(f"placer.runtime_s.n{n:02d}", elapsed)
         rows.append(
             [
                 n,
@@ -156,6 +161,11 @@ def test_scaling_coupling_engine(benchmark, record, tmp_path):
         executor.close()
 
     speedup = t_serial / t_warm
+    tracer = get_tracer()
+    tracer.gauge("coupling.serial_cold_s", t_serial)
+    tracer.gauge("coupling.parallel_cold_s", t_parallel_cold)
+    tracer.gauge("coupling.parallel_warm_s", t_warm)
+    tracer.gauge("coupling.warm_speedup", speedup)
     rows = [
         ["serial, cold", f"{t_serial * 1e3:.0f}", len(serial), 0],
         [

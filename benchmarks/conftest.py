@@ -5,8 +5,11 @@ writes a text artefact to ``benchmarks/out/`` so EXPERIMENTS.md can quote
 the exact series; heavy pipeline artefacts are computed once per session.
 
 Every benchmark additionally runs under a fresh tracer and drops a
-``BENCH_<module>__<test>.json`` run report next to its text artefact —
-the repository's perf trajectory (span wall times, solver counters).
+``BENCH_<module>__<test>.json`` run report next to its text artefact,
+*and* appends the same report to the perf-history store
+(``benchmarks/out/perf-history.jsonl``) — the repository's committed
+longitudinal perf trajectory, queryable with ``repro-emi perf history``
+and gateable with ``repro-emi perf check`` (see docs/OBSERVABILITY.md).
 Session-scoped fixtures are computed during the first benchmark that
 requests them, so their spans land in that benchmark's report.
 """
@@ -45,7 +48,7 @@ def record(out_dir):
 
 @pytest.fixture(autouse=True)
 def bench_metrics(request, out_dir):
-    """Trace every benchmark and write its ``BENCH_*.json`` run report."""
+    """Trace every benchmark; write ``BENCH_*.json`` and append to history."""
     module = Path(str(request.node.fspath)).stem
     test = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
     tracer = obs.enable(meta={"benchmark": f"{module}::{request.node.name}"})
@@ -55,6 +58,7 @@ def bench_metrics(request, out_dir):
         obs.disable()
         report = tracer.report()
         (out_dir / f"BENCH_{module}__{test}.json").write_text(report.to_json() + "\n")
+        obs.PerfHistory(out_dir / "perf-history.jsonl").append(report)
 
 
 @pytest.fixture(scope="session")

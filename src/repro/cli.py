@@ -20,11 +20,21 @@ derives PEMD rules for every pair of field-relevant parts in the file,
 buck-converter headline comparison.
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
-the run) and ``--metrics-out FILE`` (write the run report as JSON); see
+the run), ``--metrics-out FILE`` (write the run report as JSON) and
+``--mem-trace`` (tracemalloc gauges per top-level span); see
 ``docs/OBSERVABILITY.md``.  The field-solving subcommands (``rules``,
 ``demo``) additionally accept ``--workers N`` (process fan-out of the
 coupling computations), ``--cache-dir DIR`` and ``--no-cache``
 (persistent coupling cache, on by default); see ``docs/PERFORMANCE.md``.
+
+The ``perf`` subcommand group is the perf observatory over those run
+reports::
+
+    repro-emi perf record metrics.json        # append to the history store
+    repro-emi perf history --key demo         # the stored trajectory
+    repro-emi perf diff                       # delta table, last two runs
+    repro-emi perf check metrics.json --fail-on regression
+    repro-emi perf export metrics.json --format chrome -o trace.json
 """
 
 from __future__ import annotations
@@ -58,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the run report (span tree, counters, gauges) as JSON",
+    )
+    obs_flags.add_argument(
+        "--mem-trace",
+        action="store_true",
+        help="also record tracemalloc peak/current bytes per top-level span "
+        "(mem.* gauges; slows the run measurably)",
     )
 
     p_check = sub.add_parser(
@@ -210,6 +226,146 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_flags, perf_flags],
     )
     p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
+
+    # -- the perf observatory (docs/OBSERVABILITY.md) ----------------------
+
+    store_flags = argparse.ArgumentParser(add_help=False)
+    store_flags.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="perf-history JSONL file (default: $REPRO_EMI_PERF_HISTORY or "
+        "~/.cache/repro-emi/perf/history.jsonl)",
+    )
+    threshold_flags = argparse.ArgumentParser(add_help=False)
+    threshold_flags.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="relative span wall-time growth that flags a regression "
+        "(default: 0.30 = +30%%)",
+    )
+    threshold_flags.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="relative counter growth that flags a regression (default: 0.05)",
+    )
+    threshold_flags.add_argument(
+        "--min-wall-s",
+        type=float,
+        default=0.005,
+        metavar="S",
+        help="spans faster than this never flag (noise floor, default: 0.005)",
+    )
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="perf observatory: record, diff, gate and export run reports",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    pp_record = perf_sub.add_parser(
+        "record",
+        help="append --metrics-out / BENCH_*.json report files to the store",
+        parents=[store_flags],
+    )
+    pp_record.add_argument("reports", type=Path, nargs="+", metavar="REPORT")
+    pp_record.add_argument(
+        "--key",
+        default=None,
+        help="series key (default: the report's meta benchmark/command)",
+    )
+
+    pp_history = perf_sub.add_parser(
+        "history",
+        help="list (or summarise) the stored perf trajectory",
+        parents=[store_flags],
+    )
+    pp_history.add_argument("--key", default=None, help="restrict to one series")
+    pp_history.add_argument(
+        "--limit", type=int, default=20, help="most recent N records (default: 20)"
+    )
+    pp_history.add_argument(
+        "--stats",
+        action="store_true",
+        help="per-span/per-counter medians of the series instead of the record list",
+    )
+    pp_history.add_argument("--format", choices=("text", "json"), default="text")
+
+    pp_diff = perf_sub.add_parser(
+        "diff",
+        help="per-span/per-counter delta table between two runs",
+        parents=[store_flags, threshold_flags],
+    )
+    pp_diff.add_argument(
+        "reports",
+        type=Path,
+        nargs="*",
+        metavar="REPORT",
+        help="two report files (baseline, current); with none given, the "
+        "store's last two records (of --key, when set) are compared",
+    )
+    pp_diff.add_argument("--key", default=None, help="series key for store mode")
+    pp_diff.add_argument("--format", choices=("text", "json"), default="text")
+
+    pp_check = perf_sub.add_parser(
+        "check",
+        help="gate a run report against a rolling (or committed) baseline",
+        parents=[store_flags, threshold_flags],
+    )
+    pp_check.add_argument("report", type=Path, metavar="REPORT")
+    pp_check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="a committed report file as the baseline (bypasses the store)",
+    )
+    pp_check.add_argument("--key", default=None, help="series key for store mode")
+    pp_check.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="rolling baseline = median of the last N stored runs (default: 5)",
+    )
+    pp_check.add_argument(
+        "--fail-on",
+        choices=("regression", "never"),
+        default="regression",
+        help="exit non-zero on a regression verdict (default: regression)",
+    )
+    pp_check.add_argument(
+        "--record",
+        action="store_true",
+        help="append the checked report to the store after the verdict",
+    )
+    pp_check.add_argument("--format", choices=("text", "json"), default="text")
+
+    pp_export = perf_sub.add_parser(
+        "export",
+        help="export a run report (Chrome trace JSON or Prometheus text)",
+    )
+    pp_export.add_argument("report", type=Path, metavar="REPORT")
+    pp_export.add_argument(
+        "--format",
+        choices=("chrome", "prometheus"),
+        default="chrome",
+        help="chrome: Trace Event JSON for Perfetto/about://tracing; "
+        "prometheus: text exposition of the scalars (default: chrome)",
+    )
+    pp_export.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write here instead of stdout",
+    )
     return parser
 
 
@@ -503,6 +659,199 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- perf observatory subcommands ------------------------------------------
+
+
+def _load_run_report(path: Path):
+    """Parse a run-report JSON file or fail with a CLI-style message."""
+    from .obs import RunReport
+
+    try:
+        return RunReport.from_json(path.read_text())
+    except OSError as exc:
+        print(f"perf: cannot read {path}: {exc}", file=sys.stderr)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"perf: cannot parse {path}: {exc}", file=sys.stderr)
+    return None
+
+
+def _thresholds(args: argparse.Namespace):
+    from .obs import Thresholds
+
+    return Thresholds(
+        wall_rel=args.wall_threshold,
+        counter_rel=args.counter_threshold,
+        min_wall_s=args.min_wall_s,
+    )
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from .obs import PerfHistory
+
+    history = PerfHistory(args.store)
+    for path in args.reports:
+        report = _load_run_report(path)
+        if report is None:
+            return 2
+        record = history.append(report, key=args.key)
+        print(
+            f"recorded {record.key} @ {record.git_sha[:10]} "
+            f"({record.wall_s:.3f} s) -> {history.path}"
+        )
+    return 0
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import PerfHistory
+
+    history = PerfHistory(args.store)
+    if args.stats:
+        if args.key is None:
+            print("perf history --stats requires --key", file=sys.stderr)
+            return 2
+        summary = history.summarise(args.key)
+        if args.format == "json":
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{summary['key']}: {summary['runs']} run(s) "
+            f"{summary['first']} .. {summary['last']}"
+        )
+        for path, stats in summary["spans"].items():
+            print(
+                f"  {path}: median {stats['median']:.4f} s "
+                f"(min {stats['min']:.4f}, max {stats['max']:.4f}, "
+                f"last {stats['last']:.4f})"
+            )
+        return 0
+    records = history.last(key=args.key, n=args.limit)
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no records in {history.path}")
+        return 0
+    for record in records:
+        print(
+            f"{record.recorded_at}  {record.git_sha[:10]:10s}  "
+            f"{record.wall_s:9.3f} s  {record.key}"
+        )
+    if history.skipped_lines:
+        print(f"({history.skipped_lines} malformed line(s) skipped)")
+    return 0
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import PerfHistory, compare
+
+    if len(args.reports) == 2:
+        baseline = _load_run_report(args.reports[0])
+        current = _load_run_report(args.reports[1])
+        if baseline is None or current is None:
+            return 2
+        pair = (baseline, current)
+        origin = f"{args.reports[0]} -> {args.reports[1]}"
+    elif not args.reports:
+        history = PerfHistory(args.store)
+        records = history.last(key=args.key, n=2)
+        if len(records) < 2:
+            print(
+                f"perf diff: need two stored runs, found {len(records)} "
+                f"in {history.path}",
+                file=sys.stderr,
+            )
+            return 2
+        pair = (records[0].report, records[1].report)
+        origin = (
+            f"{records[0].recorded_at} ({records[0].git_sha[:10]}) -> "
+            f"{records[1].recorded_at} ({records[1].git_sha[:10]})"
+        )
+    else:
+        print("perf diff: pass exactly two report files, or none", file=sys.stderr)
+        return 2
+    verdict = compare(pair[1], [pair[0]], _thresholds(args))
+    if args.format == "json":
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"diff {origin}")
+        print(verdict.table())
+        print(verdict.summary())
+    return 0
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import PerfHistory, compare
+
+    current = _load_run_report(args.report)
+    if current is None:
+        return 2
+    if args.baseline is not None:
+        base = _load_run_report(args.baseline)
+        if base is None:
+            return 2
+        baseline = [base]
+    else:
+        history = PerfHistory(args.store)
+        baseline = [r.report for r in history.last(key=args.key, n=args.window)]
+        if not baseline:
+            # An empty store must not brick CI on its first run: record
+            # the report so the next run has a baseline, and pass.
+            history.append(current, key=args.key)
+            print(
+                f"perf check: no baseline in {history.path}; recorded this "
+                "run as the first (verdict: OK)"
+            )
+            return 0
+    verdict = compare(current, baseline, _thresholds(args))
+    if args.format == "json":
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(verdict.table(show_ok=False) or "")
+        print(verdict.summary())
+    if args.baseline is None and args.record:
+        PerfHistory(args.store).append(current, key=args.key)
+    if args.fail_on == "regression" and not verdict.ok:
+        return 1
+    return 0
+
+
+def _cmd_perf_export(args: argparse.Namespace) -> int:
+    from .obs import chrome_trace_json, to_prometheus
+
+    report = _load_run_report(args.report)
+    if report is None:
+        return 2
+    if args.format == "chrome":
+        text = chrome_trace_json(report) + "\n"
+    else:
+        text = to_prometheus(report)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_PERF_COMMANDS = {
+    "record": _cmd_perf_record,
+    "history": _cmd_perf_history,
+    "diff": _cmd_perf_diff,
+    "check": _cmd_perf_check,
+    "export": _cmd_perf_export,
+}
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    return _PERF_COMMANDS[args.perf_command](args)
+
+
 _COMMANDS = {
     "check": _cmd_check,
     "lint-src": _cmd_lint_src,
@@ -511,6 +860,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "compact": _cmd_compact,
     "demo": _cmd_demo,
+    "perf": _cmd_perf,
 }
 
 
@@ -524,8 +874,10 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    want_metrics = getattr(args, "trace", False) or (
-        getattr(args, "metrics_out", None) is not None
+    want_metrics = (
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None) is not None
+        or getattr(args, "mem_trace", False)
     )
     if not want_metrics:
         return _COMMANDS[args.command](args)
@@ -538,12 +890,22 @@ def main(argv: list[str] | None = None) -> int:
 
     from .obs import disable, enable
 
-    tracer = enable(meta={"command": args.command, "argv": list(argv or sys.argv[1:])})
+    tracer = enable(
+        meta={"command": args.command, "argv": list(argv or sys.argv[1:])},
+        mem_trace=getattr(args, "mem_trace", False),
+    )
+    # On an exception the partial report still flushes, stamped with the
+    # failure so downstream tooling never mistakes it for a healthy run.
+    status_meta: dict = {"status": "ok"}
     try:
         return _COMMANDS[args.command](args)
+    except BaseException as exc:
+        status_meta = {"status": "error", "error_type": type(exc).__name__}
+        raise
     finally:
         disable()
-        report = tracer.report()
+        tracer.stop_mem_trace()
+        report = tracer.report(extra_meta=status_meta)
         if args.metrics_out is not None:
             report.write(args.metrics_out)
             print(f"wrote {args.metrics_out}")

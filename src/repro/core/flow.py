@@ -173,7 +173,8 @@ class EmiDesignFlow:
         """Rank all coupling-branch pairs by interference impact (cached)."""
         self._gate()
         if self._sensitivity is None:
-            with get_tracer().span("flow.sensitivity"):
+            tracer = get_tracer()
+            with tracer.span("flow.sensitivity"):
                 circuit, meas = self.design.emi_circuit()
                 analyzer = SensitivityAnalyzer(
                     circuit,
@@ -185,6 +186,7 @@ class EmiDesignFlow:
                 self._sensitivity = analyzer.rank(
                     pairs, executor=self.executor if self.workers > 1 else None
                 )
+            tracer.gauge("flow.pairs_ranked", len(self._sensitivity))
         return self._sensitivity
 
     def relevant_pairs(self) -> list[SensitivityEntry]:
@@ -201,7 +203,8 @@ class EmiDesignFlow:
         """PEMD rules for every relevant pair (cached)."""
         if self._rules is None:
             relevant = self.relevant_pairs()
-            with get_tracer().span("flow.rules"):
+            tracer = get_tracer()
+            with tracer.span("flow.rules"):
                 self._rules = derive_rule_set(
                     self.design.parts(),
                     relevant,
@@ -211,6 +214,8 @@ class EmiDesignFlow:
                     executor=self.executor if self.workers > 1 else None,
                     database=self._db,
                 )
+            tracer.gauge("flow.pairs_relevant", len(relevant))
+            tracer.gauge("flow.rules_derived", len(self._rules))
         return self._rules
 
     def problem_with_rules(self) -> PlacementProblem:
@@ -241,7 +246,8 @@ class EmiDesignFlow:
 
     def evaluate(self, name: str, problem: PlacementProblem) -> LayoutEvaluation:
         """Field-simulate a layout, predict its spectrum, check limits."""
-        with get_tracer().span("flow.verification"):
+        tracer = get_tracer()
+        with tracer.span("flow.verification"):
             couplings = layout_couplings(
                 problem,
                 refdes_of_interest=list(COUPLING_BRANCHES.values()),
@@ -253,6 +259,7 @@ class EmiDesignFlow:
             checker = DesignRuleChecker(problem)
             violations = len(checker.check_min_distances())
             margin = self.limit.worst_margin_db(spectrum)
+        tracer.gauge(f"flow.worst_margin_db.{name}", margin)
         return LayoutEvaluation(
             name=name,
             problem=problem,

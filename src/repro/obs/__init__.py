@@ -8,7 +8,16 @@ Zero-dependency (stdlib-only) instrumentation for the EMI design flow:
   no-ops, keeping instrumented hot paths free when tracing is off;
 * :class:`RunReport` — JSON-serialisable snapshot of a traced run plus a
   human-readable table (the CLI's ``--trace`` / ``--metrics-out`` output
-  and the benchmark harness's ``BENCH_*.json`` artefacts).
+  and the benchmark harness's ``BENCH_*.json`` artefacts);
+* :class:`PerfHistory` — append-only JSONL store of run reports keyed by
+  (benchmark/command, git SHA, timestamp, host fingerprint): the
+  longitudinal perf trajectory behind ``repro-emi perf``;
+* :func:`compare` / :class:`RegressionVerdict` — rolling-median baseline
+  diffing with configurable :class:`Thresholds` (the ``perf check``
+  regression gate);
+* :func:`to_chrome_trace` / :func:`to_prometheus` — exporters to the
+  Chrome Trace Event Format (Perfetto, ``about://tracing``) and
+  Prometheus text exposition.
 
 Usage::
 
@@ -24,6 +33,15 @@ Span naming and the counter catalogue are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .export import chrome_trace_json, to_chrome_trace, to_prometheus
+from .history import (
+    HistoryRecord,
+    PerfHistory,
+    default_history_path,
+    git_sha,
+    host_fingerprint,
+)
+from .regress import Delta, RegressionVerdict, Thresholds, compare
 from .report import RunReport
 from .tracer import (
     NULL_TRACER,
@@ -46,4 +64,16 @@ __all__ = [
     "set_tracer",
     "enable",
     "disable",
+    "PerfHistory",
+    "HistoryRecord",
+    "default_history_path",
+    "git_sha",
+    "host_fingerprint",
+    "Thresholds",
+    "Delta",
+    "RegressionVerdict",
+    "compare",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "to_prometheus",
 ]

@@ -1,0 +1,283 @@
+"""Regression engine: diff a run report against a rolling baseline.
+
+The baseline is the per-span (and per-counter) *median* over a window of
+prior runs — medians shrug off the odd noisy run that a mean would chase.
+Spans are keyed by their full path (``run/flow.rules/coupling.field_solve``)
+so a hot path showing up under a new parent reads as *new*, not as a
+mutation of the old one.
+
+Semantics (see docs/OBSERVABILITY.md):
+
+* **span wall times** are noisy — a span regresses only when it exceeds
+  the baseline by the relative threshold *and* clears an absolute floor
+  (``min_wall_s``), so micro-spans cannot flap the gate;
+* **counters are work counters** (field solves, filament pairs, MNA
+  factorizations): deterministic for a given code state, so the default
+  threshold is tight and *more is worse* — a counter that grows flags a
+  regression, one that shrinks an improvement;
+* spans/counters present only on one side rate ``new`` / ``missing`` and
+  never fail the gate by themselves (the alternative would make every
+  instrumentation tweak a blocking event).
+
+:func:`compare` produces a :class:`RegressionVerdict` — a machine-readable
+(``to_dict``) and human-readable (``table``) list of per-metric deltas —
+which the ``repro-emi perf check`` / ``perf diff`` subcommands render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from .report import RunReport
+
+__all__ = [
+    "Thresholds",
+    "Delta",
+    "RegressionVerdict",
+    "span_walls",
+    "compare",
+]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Relative thresholds and absolute floors for the regression gate.
+
+    Attributes:
+        wall_rel: relative wall-time growth that flags a span, e.g. 0.30
+            = +30% over baseline (dimensionless fraction).
+        counter_rel: relative counter growth that flags a counter
+            (dimensionless fraction).
+        min_wall_s: spans whose baseline *and* current wall are below
+            this floor are never flagged [s].
+        min_counter: counters must move by at least this much in absolute
+            terms to be flagged (guards integer counters near zero).
+    """
+
+    wall_rel: float = 0.30
+    counter_rel: float = 0.05
+    min_wall_s: float = 0.005
+    min_counter: float = 0.5
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready form (recorded inside every verdict)."""
+        return {
+            "wall_rel": self.wall_rel,
+            "counter_rel": self.counter_rel,
+            "min_wall_s": self.min_wall_s,
+            "min_counter": self.min_counter,
+        }
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric compared between baseline and current run.
+
+    Attributes:
+        kind: ``"span"`` (wall seconds) or ``"counter"`` (totals).
+        name: span path (``/``-joined) or counter name.
+        baseline: baseline value (``None`` when the metric is new).
+        current: current value (``None`` when the metric went missing).
+        ratio: ``current / baseline`` where defined.
+        status: ``ok`` | ``regression`` | ``improvement`` | ``new`` |
+            ``missing``.
+    """
+
+    kind: str
+    name: str
+    baseline: float | None
+    current: float | None
+    ratio: float | None
+    status: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RegressionVerdict:
+    """The full outcome of one baseline comparison."""
+
+    deltas: list[Delta]
+    baseline_runs: int
+    thresholds: Thresholds = field(default_factory=Thresholds)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        """The deltas that fail the gate."""
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        """The deltas that beat the baseline."""
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable verdict (the ``perf check --format json`` body)."""
+        return {
+            "ok": self.ok,
+            "baseline_runs": self.baseline_runs,
+            "thresholds": self.thresholds.to_dict(),
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def table(self, show_ok: bool = True) -> str:
+        """Aligned per-metric delta table, worst offenders first."""
+        order = {"regression": 0, "missing": 1, "new": 2, "improvement": 3, "ok": 4}
+        rows: list[tuple[str, str, str, str, str, str]] = []
+        for delta in sorted(
+            self.deltas,
+            key=lambda d: (order.get(d.status, 9), -(d.ratio or 0.0), d.name),
+        ):
+            if not show_ok and delta.status == "ok":
+                continue
+            fmt = "{:.4f}" if delta.kind == "span" else "{:g}"
+            rows.append(
+                (
+                    delta.kind,
+                    delta.name,
+                    "-" if delta.baseline is None else fmt.format(delta.baseline),
+                    "-" if delta.current is None else fmt.format(delta.current),
+                    "-"
+                    if delta.ratio is None
+                    else f"{(delta.ratio - 1.0) * 100.0:+.1f}%",
+                    delta.status,
+                )
+            )
+        if not rows:
+            if self.deltas:
+                return "(all metrics within thresholds)"
+            return "(no overlapping metrics)"
+        headers = ("kind", "metric", "baseline", "current", "delta", "status")
+        widths = [
+            max(len(headers[i]), max(len(r[i]) for r in rows)) for i in range(6)
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line outcome for terminals and CI logs."""
+        verdict = "OK" if self.ok else "REGRESSION"
+        return (
+            f"perf {verdict}: {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) over "
+            f"{self.baseline_runs} baseline run(s)"
+        )
+
+
+def span_walls(report: RunReport) -> dict[str, float]:
+    """Wall seconds per ``/``-joined span path (paths are unique)."""
+    return {
+        "/".join(path): span.wall_s for path, span in report.root.walk_paths()
+    }
+
+
+def _median_by_key(series: list[dict[str, float]]) -> dict[str, float]:
+    """Per-key median over the dicts; keys present in any run count."""
+    merged: dict[str, list[float]] = {}
+    for entry in series:
+        for key, value in entry.items():
+            merged.setdefault(key, []).append(value)
+    return {key: median(values) for key, values in merged.items()}
+
+
+def _classify_span(
+    base: float | None, cur: float | None, t: Thresholds
+) -> tuple[float | None, str]:
+    if base is None:
+        return None, "new"
+    if cur is None:
+        return None, "missing"
+    if base < t.min_wall_s and cur < t.min_wall_s:
+        return None, "ok"
+    # Floor the denominator so a near-zero baseline cannot explode the
+    # ratio for a span that merely crossed the noise floor.
+    denom = max(base, t.min_wall_s)
+    if denom <= 0.0:
+        # min_wall_s configured to 0 with a zero baseline: no finite
+        # ratio exists, so classify on the current wall alone.
+        return None, "regression" if cur > 0.0 else "ok"
+    ratio = cur / denom
+    if cur >= t.min_wall_s and ratio > 1.0 + t.wall_rel:
+        return ratio, "regression"
+    if base >= t.min_wall_s and ratio < 1.0 / (1.0 + t.wall_rel):
+        return ratio, "improvement"
+    return ratio, "ok"
+
+
+def _classify_counter(
+    base: float | None, cur: float | None, t: Thresholds
+) -> tuple[float | None, str]:
+    if base is None:
+        return None, "new"
+    if cur is None:
+        return None, "missing"
+    ratio = cur / base if base > 0.0 else None
+    if abs(cur - base) < t.min_counter:
+        return ratio, "ok"
+    if cur > base * (1.0 + t.counter_rel):
+        return ratio, "regression"
+    if cur < base * (1.0 - t.counter_rel):
+        return ratio, "improvement"
+    return ratio, "ok"
+
+
+def compare(
+    current: RunReport,
+    baseline: list[RunReport],
+    thresholds: Thresholds | None = None,
+) -> RegressionVerdict:
+    """Diff ``current`` against the median of the ``baseline`` runs.
+
+    Args:
+        current: the run under test.
+        baseline: one or more prior runs; per-metric medians form the
+            reference (a single run is its own median, so a plain
+            two-report diff is the ``baseline=[a]`` special case).
+        thresholds: gate configuration (defaults to :class:`Thresholds`).
+
+    Returns:
+        A verdict with one :class:`Delta` per span path and per counter
+        seen on either side.
+    """
+    t = thresholds if thresholds is not None else Thresholds()
+    base_spans = _median_by_key([span_walls(r) for r in baseline])
+    base_counters = _median_by_key([r.totals() for r in baseline])
+    cur_spans = span_walls(current)
+    cur_counters = current.totals()
+
+    deltas: list[Delta] = []
+    for name in sorted(base_spans.keys() | cur_spans.keys()):
+        base, cur = base_spans.get(name), cur_spans.get(name)
+        ratio, status = _classify_span(base, cur, t)
+        deltas.append(Delta("span", name, base, cur, ratio, status))
+    for name in sorted(base_counters.keys() | cur_counters.keys()):
+        base, cur = base_counters.get(name), cur_counters.get(name)
+        ratio, status = _classify_counter(base, cur, t)
+        deltas.append(Delta("counter", name, base, cur, ratio, status))
+    return RegressionVerdict(
+        deltas=deltas, baseline_runs=len(baseline), thresholds=t
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from .tracer import Span
@@ -81,10 +82,8 @@ class RunReport:
         """Rebuild a report from a :meth:`to_json` string."""
         return cls.from_dict(json.loads(text))
 
-    def write(self, path) -> None:
+    def write(self, path: str | Path) -> None:
         """Write the JSON form to ``path`` (a ``pathlib.Path`` or str)."""
-        from pathlib import Path
-
         Path(path).write_text(self.to_json() + "\n")
 
     # -- display -----------------------------------------------------------

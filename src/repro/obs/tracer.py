@@ -23,8 +23,13 @@ solvers are single-threaded throughout).
 from __future__ import annotations
 
 import time
+import tracemalloc
 from collections.abc import Iterator
-from typing import Any
+from types import TracebackType
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .report import RunReport
 
 __all__ = [
     "Span",
@@ -77,12 +82,41 @@ class Span:
         for node in self.children.values():
             yield from node.walk(depth + 1)
 
+    def walk_paths(
+        self, prefix: tuple[str, ...] = ()
+    ) -> Iterator[tuple[tuple[str, ...], "Span"]]:
+        """Pre-order iteration as ``(path, span)`` pairs.
+
+        ``path`` is the tuple of span names from this node down, so two
+        spans of the same name under different parents stay distinct —
+        the regression engine keys its baselines on these paths.
+        """
+        path = (*prefix, self.name)
+        yield path, self
+        for node in self.children.values():
+            yield from node.walk_paths(path)
+
     def find(self, name: str) -> "Span | None":
         """First span of that exact name in the subtree (pre-order)."""
         for _, node in self.walk():
             if node.name == name:
                 return node
         return None
+
+    def merge(self, other: "Span") -> None:
+        """Accumulate another subtree into this one (names aside).
+
+        Wall time, call counts and counters add; children merge
+        recursively by name.  ``other.name`` is deliberately ignored so a
+        worker tracer's synthetic ``run`` root can fold into a
+        differently-named node (``parallel.worker``).
+        """
+        self.wall_s += other.wall_s
+        self.count += other.count
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        for name, node in other.children.items():
+            self.child(name).merge(node)
 
     def total_counters(self) -> dict[str, float]:
         """Counter totals aggregated over the whole subtree."""
@@ -137,20 +171,34 @@ class _SpanHandle:
         self.elapsed_s: float | None = None
 
     def __enter__(self) -> "_SpanHandle":
-        stack = self._tracer._stack
+        tracer = self._tracer
+        stack = tracer._stack
         span = stack[-1].child(self._name)
         span.count += 1
         stack.append(span)
         self._span = span
+        if tracer.mem_trace and len(stack) == 2:
+            # Entering a top-level span: measure its peak in isolation.
+            tracemalloc.reset_peak()
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         elapsed = time.perf_counter() - self._t0
         self.elapsed_s = elapsed
         assert self._span is not None
         self._span.wall_s += elapsed
-        self._tracer._stack.pop()
+        tracer = self._tracer
+        tracer._stack.pop()
+        if tracer.mem_trace and len(tracer._stack) == 1:
+            current, peak = tracemalloc.get_traced_memory()
+            tracer.gauge(f"mem.{self._name}.current_bytes", float(current))
+            tracer.gauge(f"mem.{self._name}.peak_bytes", float(peak))
         return False
 
 
@@ -164,7 +212,12 @@ class _NullSpanHandle:
     def __enter__(self) -> "_NullSpanHandle":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -177,16 +230,26 @@ class Tracer:
     Args:
         meta: free-form metadata recorded into the final report (command
             line, benchmark name, …).
+        mem_trace: when True, run :mod:`tracemalloc` for the tracer's
+            lifetime and record ``mem.<span>.peak_bytes`` /
+            ``mem.<span>.current_bytes`` gauges for every *top-level*
+            span (a direct child of the root).  Allocation tracing slows
+            the interpreter noticeably; it is strictly opt-in.
     """
 
     enabled = True
 
-    def __init__(self, meta: dict[str, Any] | None = None):
+    def __init__(self, meta: dict[str, Any] | None = None, mem_trace: bool = False):
         self.root = Span("run")
         self.root.count = 1
         self.meta: dict[str, Any] = dict(meta or {})
         self.gauges: dict[str, float] = {}
+        self.mem_trace = mem_trace
+        self._mem_started_here = False
         self._stack: list[Span] = [self.root]
+        if mem_trace and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._mem_started_here = True
         self._t0 = time.perf_counter()
 
     def span(self, name: str) -> _SpanHandle:
@@ -206,7 +269,34 @@ class Tracer:
         """Wall time since the tracer was created [s]."""
         return time.perf_counter() - self._t0
 
-    def report(self, extra_meta: dict[str, Any] | None = None):
+    def absorb_worker(
+        self, data: dict[str, Any], under: str = "parallel.worker"
+    ) -> None:
+        """Merge a worker tracer's serialised state into the open span.
+
+        ``data`` is the payload a pool worker ships back with its chunk
+        result: ``{"spans": Span.to_dict(), "gauges": {...}}``.  The
+        worker's span subtree accumulates under an ``under`` child of the
+        innermost open span (so pool work appears below ``parallel.map``),
+        and worker gauges land as ``<under>.<name>`` (last write wins).
+
+        Because worker wall time is summed across processes, the merged
+        node's ``wall_s`` is *CPU-busy* time and may legitimately exceed
+        its parent's wall-clock span.
+        """
+        spans = data.get("spans")
+        if spans is not None:
+            self._stack[-1].child(under).merge(Span.from_dict(spans))
+        for name, value in data.get("gauges", {}).items():
+            self.gauges[f"{under}.{name}"] = float(value)
+
+    def stop_mem_trace(self) -> None:
+        """Stop :mod:`tracemalloc` if this tracer was the one to start it."""
+        if self._mem_started_here and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._mem_started_here = False
+
+    def report(self, extra_meta: dict[str, Any] | None = None) -> "RunReport":
         """Freeze the current state into a :class:`~repro.obs.RunReport`.
 
         The root span's wall time is set to the tracer's lifetime so the
@@ -230,6 +320,7 @@ class NullTracer:
     """
 
     enabled = False
+    mem_trace = False
 
     def span(self, name: str) -> _NullSpanHandle:
         """Return the shared no-op span handle."""
@@ -240,6 +331,14 @@ class NullTracer:
 
     def gauge(self, name: str, value: float) -> None:
         """Discard the value."""
+
+    def absorb_worker(
+        self, data: dict[str, Any], under: str = "parallel.worker"
+    ) -> None:
+        """Discard the worker payload."""
+
+    def stop_mem_trace(self) -> None:
+        """No memory tracing to stop."""
 
 
 NULL_TRACER = NullTracer()
@@ -259,9 +358,9 @@ def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     return tracer
 
 
-def enable(meta: dict[str, Any] | None = None) -> Tracer:
+def enable(meta: dict[str, Any] | None = None, mem_trace: bool = False) -> Tracer:
     """Install (and return) a fresh global :class:`Tracer`."""
-    tracer = Tracer(meta=meta)
+    tracer = Tracer(meta=meta, mem_trace=mem_trace)
     set_tracer(tracer)
     return tracer
 

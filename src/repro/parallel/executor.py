@@ -20,6 +20,16 @@ the rest of the repository relies on (see ``docs/PERFORMANCE.md``):
 Counters: ``parallel.tasks`` (tasks requested), ``parallel.chunks``
 (pool submissions), ``parallel.fallbacks`` (parallel phases that degraded
 to serial).  The fan-out itself runs under a ``parallel.map`` span.
+
+**Worker-side span capture** — when the parent runs under a real tracer,
+each chunk payload carries a ``traced`` flag: the worker installs a fresh
+child :class:`~repro.obs.Tracer` around its chunk, and the serialised
+span subtree plus counters/gauges ship back with the chunk result.  The
+parent merges every worker subtree under a ``parallel.worker`` node of
+the currently open span, so pool runs profile end-to-end (the hottest
+PEEC code no longer disappears from the trace).  ``parallel.worker``
+wall time is summed across processes — CPU-busy time, legitimately
+larger than the parent's wall-clock span on multi-core runs.
 """
 
 from __future__ import annotations
@@ -37,17 +47,41 @@ __all__ = ["CouplingExecutor"]
 _CHUNKS_PER_WORKER = 4
 
 
-def _run_chunk(payload: bytes) -> list[Any]:
+def _run_chunk(payload: bytes) -> tuple[list[Any], dict[str, Any] | None]:
     """Worker-side entry: apply ``fn`` to every item of one chunk, in order.
 
-    The payload is a pre-pickled ``(fn, items)`` pair: serialising in the
-    parent (see :meth:`CouplingExecutor._map_parallel`) turns an
-    unpicklable task into a synchronous error with a clean serial
-    fallback, instead of an asynchronous failure inside the pool's feeder
-    thread that can wedge the pool beyond recovery.
+    The payload is a pre-pickled ``(fn, items, traced)`` triple:
+    serialising in the parent (see
+    :meth:`CouplingExecutor._map_parallel`) turns an unpicklable task
+    into a synchronous error with a clean serial fallback, instead of an
+    asynchronous failure inside the pool's feeder thread that can wedge
+    the pool beyond recovery.
+
+    Returns:
+        ``(results, capture)`` where ``capture`` is ``None`` for
+        untraced runs, else ``{"spans": ..., "gauges": ...}`` — the
+        chunk's child tracer serialised for the parent to absorb.  A
+        fresh tracer is installed per chunk (fork-started workers inherit
+        a *copy* of the parent's tracer whose spans would otherwise be
+        recorded into oblivion) and the null tracer is restored before
+        returning, also when the task raises.
     """
-    fn, items = pickle.loads(payload)
-    return [fn(item) for item in items]
+    fn, items, traced = pickle.loads(payload)
+    if not traced:
+        return [fn(item) for item in items], None
+    from ..obs import NULL_TRACER, Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        results = [fn(item) for item in items]
+    finally:
+        set_tracer(NULL_TRACER)
+    tracer.root.wall_s = tracer.elapsed_s()
+    return results, {
+        "spans": tracer.root.to_dict(),
+        "gauges": dict(tracer.gauges),
+    }
 
 
 class CouplingExecutor:
@@ -121,13 +155,17 @@ class CouplingExecutor:
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
         # Pickle in the parent: raises here (and falls back serially) for
         # unpicklable tasks rather than poisoning the pool's feeder thread.
-        payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+        traced = bool(tracer.enabled)
+        payloads = [pickle.dumps((fn, chunk, traced)) for chunk in chunks]
         tracer.count("parallel.chunks", len(chunks))
         pool = self._ensure_pool()
         futures = [pool.submit(_run_chunk, payload) for payload in payloads]
         results: list[Any] = []
         for future in futures:  # submission order == task order
-            results.extend(future.result())
+            chunk_results, capture = future.result()
+            results.extend(chunk_results)
+            if capture is not None:
+                tracer.absorb_worker(capture)
         return results
 
     def _ensure_pool(self) -> Any:

@@ -234,3 +234,172 @@ class TestSpanSerialization:
         clone = Span.from_dict(span.to_dict())
         assert clone.to_dict() == span.to_dict()
         assert clone.children["leaf"].counters == {"n": 7}
+
+
+class TestSpanMerge:
+    def test_merge_accumulates_and_recurses(self):
+        a = Tracer()
+        with a.span("stage"):
+            a.count("items", 5)
+            with a.span("inner"):
+                pass
+        b = Tracer()
+        with b.span("stage"):
+            b.count("items", 7)
+        with b.span("other"):
+            pass
+        target = a.root
+        target.merge(b.root)
+        assert target.count == 2  # both roots
+        stage = target.children["stage"]
+        assert stage.count == 2
+        assert stage.counters["items"] == 12
+        assert set(target.children) == {"stage", "other"}
+        assert stage.children["inner"].count == 1
+
+    def test_merge_ignores_other_name(self):
+        worker_root = Span("run")
+        worker_root.count = 1
+        worker_root.wall_s = 0.5
+        node = Span("parallel.worker")
+        node.merge(worker_root)
+        assert node.name == "parallel.worker"
+        assert node.wall_s == 0.5
+
+    def test_walk_paths_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"), tracer.span("x"):
+            pass
+        with tracer.span("b"), tracer.span("x"):
+            pass
+        paths = ["/".join(p) for p, _ in tracer.root.walk_paths()]
+        assert len(paths) == len(set(paths))
+        assert "run/a/x" in paths and "run/b/x" in paths
+
+
+class TestAbsorbWorker:
+    def test_absorbs_under_open_span(self):
+        worker = Tracer()
+        with worker.span("peec.solve"):
+            worker.count("peec.filament_pairs", 42)
+        worker.gauge("scratch", 3.0)
+        worker.root.wall_s = 0.25
+        payload = {"spans": worker.root.to_dict(), "gauges": dict(worker.gauges)}
+
+        parent = Tracer()
+        with parent.span("parallel.map"):
+            parent.absorb_worker(payload)
+            parent.absorb_worker(payload)
+        node = parent.root.children["parallel.map"].children["parallel.worker"]
+        assert node.count == 2
+        assert node.wall_s == 0.5
+        assert node.children["peec.solve"].counters["peec.filament_pairs"] == 84
+        assert parent.gauges["parallel.worker.scratch"] == 3.0
+
+    def test_null_tracer_discards(self):
+        NULL_TRACER.absorb_worker({"spans": {"name": "run"}})
+        NULL_TRACER.stop_mem_trace()
+
+
+class TestMemTrace:
+    def test_mem_gauges_per_top_level_span(self):
+        tracer = Tracer(mem_trace=True)
+        try:
+            with tracer.span("allocating"):
+                blob = [0] * 200_000
+            assert blob is not None
+            with tracer.span("quiet"):
+                pass
+        finally:
+            tracer.stop_mem_trace()
+        gauges = tracer.report().gauges
+        assert gauges["mem.allocating.peak_bytes"] > 200_000 * 8 * 0.9
+        assert gauges["mem.allocating.current_bytes"] >= 0
+        assert "mem.quiet.peak_bytes" in gauges
+
+    def test_nested_spans_get_no_mem_gauges(self):
+        tracer = Tracer(mem_trace=True)
+        try:
+            with tracer.span("outer"), tracer.span("inner"):
+                pass
+        finally:
+            tracer.stop_mem_trace()
+        gauges = tracer.report().gauges
+        assert "mem.outer.peak_bytes" in gauges
+        assert "mem.inner.peak_bytes" not in gauges
+
+    def test_off_by_default_and_stop_idempotent(self):
+        import tracemalloc
+
+        tracer = Tracer()
+        assert not tracer.mem_trace
+        with tracer.span("x"):
+            pass
+        assert "mem.x.peak_bytes" not in tracer.gauges
+        mem_tracer = Tracer(mem_trace=True)
+        mem_tracer.stop_mem_trace()
+        mem_tracer.stop_mem_trace()
+        assert not tracemalloc.is_tracing()
+
+
+class TestRunReportRoundTripProperty:
+    """Hypothesis: from_json(to_json(r)) is bit-exact on the whole report."""
+
+    @staticmethod
+    def _span_from_spec(spec):
+        name, wall, count, counters, children = spec
+        span = Span(name)
+        span.wall_s = wall
+        span.count = count
+        span.counters = dict(counters)
+        for i, child_spec in enumerate(children):
+            child = TestRunReportRoundTripProperty._span_from_spec(child_spec)
+            # Children are keyed by name; disambiguate duplicates.
+            child.name = f"{child.name}.{i}"
+            span.children[child.name] = child
+        return span
+
+    def test_round_trip_bit_exact(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        names = st.text(
+            alphabet="abcdefgh.xyz_0123456789", min_size=1, max_size=16
+        )
+        finite = st.floats(allow_nan=False, allow_infinity=False)
+        counters = st.dictionaries(names, finite, max_size=4)
+        span_spec = st.deferred(
+            lambda: st.tuples(
+                names,
+                finite,
+                st.integers(min_value=0, max_value=10**9),
+                counters,
+                st.lists(span_spec, max_size=3),
+            )
+        )
+        meta_values = st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(10**12), max_value=10**12),
+            finite,
+            st.text(max_size=32),
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            spec=span_spec,
+            gauges=st.dictionaries(names, finite, max_size=4),
+            meta=st.dictionaries(names, meta_values, max_size=4),
+        )
+        def inner(spec, gauges, meta):
+            report = RunReport(
+                root=self._span_from_spec(spec), gauges=gauges, meta=meta
+            )
+            clone = RunReport.from_json(report.to_json())
+            # Bit-exact: the span tree, gauges and meta all survive.
+            assert clone.to_dict() == report.to_dict()
+            assert clone.root.to_dict() == report.root.to_dict()
+            assert clone.gauges == report.gauges
+            assert clone.meta == report.meta
+
+        inner()

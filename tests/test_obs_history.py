@@ -1,0 +1,158 @@
+"""Unit tests for the perf-history store (repro.obs.history)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HistoryRecord,
+    PerfHistory,
+    RunReport,
+    Span,
+    Tracer,
+    default_history_path,
+    git_sha,
+    host_fingerprint,
+)
+
+
+def make_report(command: str = "demo", wall: float = 1.0) -> RunReport:
+    tracer = Tracer(meta={"command": command})
+    with tracer.span("flow.rules"):
+        tracer.count("coupling.sweep_points", 12)
+    report = tracer.report()
+    report.root.wall_s = wall
+    report.find("flow.rules").wall_s = wall / 2
+    return report
+
+
+class TestProvenance:
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMI_GIT_SHA", "deadbeef")
+        assert git_sha() == "deadbeef"
+
+    def test_git_sha_in_repo_or_unknown(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EMI_GIT_SHA", raising=False)
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_host_fingerprint_stable_and_short(self):
+        assert host_fingerprint() == host_fingerprint()
+        assert len(host_fingerprint()) == 12
+
+    def test_default_path_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EMI_PERF_HISTORY", str(tmp_path / "h.jsonl"))
+        assert default_history_path() == tmp_path / "h.jsonl"
+
+
+class TestAppendAndRead:
+    def test_append_creates_parents_and_roundtrips(self, tmp_path):
+        history = PerfHistory(tmp_path / "deep" / "nested" / "h.jsonl")
+        written = history.append(make_report(), key="bench-x", sha="abc123")
+        records = history.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.key == "bench-x"
+        assert record.git_sha == "abc123"
+        assert record.host == host_fingerprint()
+        assert record.wall_s == written.wall_s == 1.0
+        assert record.report.find("flow.rules").wall_s == 0.5
+        assert record.report.totals()["coupling.sweep_points"] == 12
+
+    def test_key_defaults_from_meta(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        assert history.append(make_report(command="demo")).key == "demo"
+        tracer = Tracer(meta={"benchmark": "bench_x::test_y"})
+        assert history.append(tracer.report()).key == "bench_x::test_y"
+        assert history.append(RunReport(root=Span("run"))).key == "run"
+
+    def test_records_append_only_order(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for i in range(5):
+            history.append(make_report(wall=float(i + 1)), key="k", sha=f"s{i}")
+        shas = [r.git_sha for r in history.records(key="k")]
+        assert shas == ["s0", "s1", "s2", "s3", "s4"]
+
+    def test_filters_and_keys(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        history.append(make_report(), key="a")
+        history.append(make_report(), key="b")
+        history.append(make_report(), key="a")
+        assert history.keys() == {"a": 2, "b": 1}
+        assert len(history.records(key="a")) == 2
+        assert history.records(host="nonexistent-host") == []
+        assert len(history.records(host=host_fingerprint())) == 3
+
+    def test_last_window(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for i in range(7):
+            history.append(make_report(), key="k", sha=f"s{i}")
+        assert [r.git_sha for r in history.last(key="k", n=3)] == ["s4", "s5", "s6"]
+        assert history.last(key="k", n=0) == []
+        assert len(history.last(key="k", n=99)) == 7
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        history = PerfHistory(tmp_path / "nowhere.jsonl")
+        assert history.records() == []
+        assert history.keys() == {}
+
+
+class TestRobustness:
+    def test_malformed_and_torn_lines_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history = PerfHistory(path)
+        history.append(make_report(), key="good")
+        with path.open("a") as handle:
+            handle.write("this is not json\n")
+            handle.write('{"schema": 1, "key": "no-report-field"}\n')
+            handle.write('{"schema": 1, "key": "torn", "report": {"spans"')  # torn
+        history.append(make_report(), key="good2")
+        # Re-read: the two good records survive, three bad lines counted.
+        history = PerfHistory(path)
+        records = history.records()
+        assert [r.key for r in records] == ["good", "good2"]
+        assert history.skipped_lines == 3
+
+    def test_newer_schema_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history = PerfHistory(path)
+        record = history.append(make_report(), key="k")
+        newer = record.to_dict()
+        newer["schema"] = 999
+        with path.open("a") as handle:
+            handle.write(json.dumps(newer) + "\n")
+        assert len(history.records()) == 1
+        assert history.skipped_lines == 1
+
+    def test_record_dict_roundtrip(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        record = history.append(make_report(), key="k")
+        assert HistoryRecord.from_dict(record.to_dict()) == record
+
+
+class TestSummarise:
+    def test_summary_statistics(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        for wall in (1.0, 2.0, 3.0):
+            history.append(make_report(wall=wall), key="k")
+        summary = history.summarise("k")
+        assert summary["runs"] == 3
+        run_stats = summary["spans"]["run"]
+        assert run_stats["median"] == 2.0
+        assert run_stats["min"] == 1.0
+        assert run_stats["max"] == 3.0
+        assert run_stats["last"] == 3.0
+        assert summary["spans"]["run/flow.rules"]["median"] == 1.0
+        assert summary["counters"]["coupling.sweep_points"]["median"] == 12
+
+    def test_empty_series(self, tmp_path):
+        summary = PerfHistory(tmp_path / "h.jsonl").summarise("nope")
+        assert summary["runs"] == 0
+        assert summary["first"] is None
+        assert summary["spans"] == {}
+
+
+@pytest.fixture(autouse=True)
+def _no_real_git_calls(monkeypatch):
+    """Pin the SHA so tests never shell out to git."""
+    monkeypatch.setenv("REPRO_EMI_GIT_SHA", "test-sha")

@@ -101,3 +101,65 @@ class TestCounters:
         # at payload serialisation, before any pool submission.
         assert counters["parallel.chunks"] == 4
         assert counters["parallel.fallbacks"] == 1
+
+
+def _traced_square(x):
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("task.square"):
+        tracer.count("task.items")
+        return x * x
+
+
+class TestWorkerSpanCapture:
+    def test_worker_spans_merge_under_parallel_worker(self):
+        tracer = enable()
+        try:
+            with CouplingExecutor(workers=2, chunk_size=5) as ex:
+                result = ex.map(_traced_square, range(20))
+            report = tracer.report()
+        finally:
+            disable()
+        assert result == [x * x for x in range(20)]
+        worker = report.find("parallel.worker")
+        assert worker is not None
+        # One merged worker-root per chunk.
+        assert worker.count == 4
+        # The task's own span and counters crossed the process boundary.
+        task_span = worker.children["task.square"]
+        assert task_span.count == 20
+        assert task_span.wall_s > 0
+        assert report.totals()["task.items"] == 20
+        # The capture nests under the parallel.map span.
+        parallel_map = report.find("parallel.map")
+        assert "parallel.worker" in parallel_map.children
+
+    def test_untraced_run_ships_no_capture(self):
+        # No tracer: the payload advertises traced=False and the map
+        # still returns plain results (the capture tuple is internal).
+        with CouplingExecutor(workers=2, chunk_size=5) as ex:
+            assert ex.map(_traced_square, range(10)) == [x * x for x in range(10)]
+
+    def test_serial_map_traces_inline(self):
+        tracer = enable()
+        try:
+            CouplingExecutor(workers=1).map(_traced_square, range(6))
+            report = tracer.report()
+        finally:
+            disable()
+        # Serial execution records spans directly -- no worker node.
+        assert report.find("parallel.worker") is None
+        assert report.find("task.square").count == 6
+
+    def test_fallback_still_traces_inline(self):
+        tracer = enable()
+        try:
+            with CouplingExecutor(workers=2) as ex:
+                # Unpicklable closure forces the serial fallback.
+                ex.map(lambda x: _traced_square(x), range(8))
+            report = tracer.report()
+        finally:
+            disable()
+        assert report.totals()["parallel.fallbacks"] == 1
+        assert report.find("task.square").count == 8
