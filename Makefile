@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ruff mypy physlint physlint-baseline bench-smoke perf-baseline perf-check
+.PHONY: test lint ruff mypy physlint physlint-baseline bench-smoke events-smoke perf-baseline perf-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,11 @@ test:
 ## Cold/warm smoke of the parallel coupling engine and its persistent cache.
 bench-smoke:
 	$(PYTHON) benchmarks/smoke_parallel.py
+
+## End-to-end smoke of the telemetry event stream (--events-out), its
+## schema, the worker chunk events and the perf-flight HTML artefact.
+events-smoke:
+	$(PYTHON) benchmarks/smoke_events.py
 
 ## Regenerate the committed perf baseline for the CI regression gate.
 ## Counters in it are deterministic; wall times are only gated loosely.

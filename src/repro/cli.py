@@ -20,9 +20,11 @@ derives PEMD rules for every pair of field-relevant parts in the file,
 buck-converter headline comparison.
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
-the run), ``--metrics-out FILE`` (write the run report as JSON) and
-``--mem-trace`` (tracemalloc gauges per top-level span); see
-``docs/OBSERVABILITY.md``.  The field-solving subcommands (``rules``,
+the run), ``--metrics-out FILE`` (write the run report as JSON),
+``--mem-trace`` (tracemalloc gauges per top-level span), ``--events-out
+FILE`` (stream every telemetry event as JSONL while the run goes) and
+``--live`` (single-line console progress: stage, span path, rates,
+cache hit-rate); see ``docs/OBSERVABILITY.md``.  The field-solving subcommands (``rules``,
 ``demo``) additionally accept ``--workers N`` (process fan-out of the
 coupling computations), ``--cache-dir DIR`` and ``--no-cache``
 (persistent coupling cache, on by default); see ``docs/PERFORMANCE.md``.
@@ -35,6 +37,7 @@ reports::
     repro-emi perf diff                       # delta table, last two runs
     repro-emi perf check metrics.json --fail-on regression
     repro-emi perf export metrics.json --format chrome -o trace.json
+    repro-emi perf flight metrics.json --events events.jsonl -o flight.html
 """
 
 from __future__ import annotations
@@ -74,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also record tracemalloc peak/current bytes per top-level span "
         "(mem.* gauges; slows the run measurably)",
+    )
+    obs_flags.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="stream every telemetry event (spans, counters, gauges, stages, "
+        "worker chunks) as JSONL while the run goes; tail-able and "
+        "crash-safe to the last event",
+    )
+    obs_flags.add_argument(
+        "--live",
+        action="store_true",
+        help="single-line live progress on stderr: current stage, open span "
+        "path, event/counter rates, cache hit-rate, RSS",
     )
 
     p_check = sub.add_parser(
@@ -366,6 +384,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write here instead of stdout",
     )
+
+    pp_flight = perf_sub.add_parser(
+        "flight",
+        help="render one run as a self-contained HTML flight recorder",
+        parents=[store_flags, threshold_flags],
+    )
+    pp_flight.add_argument("report", type=Path, metavar="REPORT")
+    pp_flight.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="the run's --events-out JSONL log (adds the event timeline)",
+    )
+    pp_flight.add_argument(
+        "--key",
+        default=None,
+        help="history series key (default: the report's meta benchmark/command)",
+    )
+    pp_flight.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        metavar="N",
+        help="sparkline over the last N stored runs (default: 20)",
+    )
+    pp_flight.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("flight.html"),
+        metavar="FILE",
+        help="output HTML file (default: flight.html)",
+    )
     return parser
 
 
@@ -541,6 +593,7 @@ def _perf_setup(args: argparse.Namespace):
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
+    from .obs import get_tracer
     from .rules import RuleSet, derive_pemd
 
     problem = _load(args.problem)
@@ -556,32 +609,35 @@ def _cmd_rules(args: argparse.Namespace) -> int:
     known = {r.pair() for r in rules}
     derived = 0
     try:
-        for i in range(len(relevant)):
-            for j in range(i + 1, len(relevant)):
-                if derived >= args.max_pairs:
-                    break
-                ref_a, comp_a = relevant[i]
-                ref_b, comp_b = relevant[j]
-                if tuple(sorted((ref_a, ref_b))) in known:
-                    continue
-                type_key = tuple(sorted((comp_a.part_number, comp_b.part_number)))
-                derivation = derivation_cache.get(type_key)
-                if derivation is None:
-                    derivation = derive_pemd(
-                        comp_a,
-                        comp_b,
-                        args.k_threshold,
-                        executor=executor,
-                        database=database,
+        with get_tracer().stage("rules", {"max_pairs": args.max_pairs}):
+            for i in range(len(relevant)):
+                for j in range(i + 1, len(relevant)):
+                    if derived >= args.max_pairs:
+                        break
+                    ref_a, comp_a = relevant[i]
+                    ref_b, comp_b = relevant[j]
+                    if tuple(sorted((ref_a, ref_b))) in known:
+                        continue
+                    type_key = tuple(
+                        sorted((comp_a.part_number, comp_b.part_number))
                     )
-                    derivation_cache[type_key] = derivation
-                rule = derivation.rule(ref_a, ref_b)  # type: ignore[attr-defined]
-                rules.append(rule)
-                derived += 1
-                print(
-                    f"  {ref_a}-{ref_b}: PEMD {rule.pemd * 1e3:.1f} mm "
-                    f"(residual {rule.residual:.2f})"
-                )
+                    derivation = derivation_cache.get(type_key)
+                    if derivation is None:
+                        derivation = derive_pemd(
+                            comp_a,
+                            comp_b,
+                            args.k_threshold,
+                            executor=executor,
+                            database=database,
+                        )
+                        derivation_cache[type_key] = derivation
+                    rule = derivation.rule(ref_a, ref_b)  # type: ignore[attr-defined]
+                    rules.append(rule)
+                    derived += 1
+                    print(
+                        f"  {ref_a}-{ref_b}: PEMD {rule.pemd * 1e3:.1f} mm "
+                        f"(residual {rule.residual:.2f})"
+                    )
     finally:
         if executor is not None:
             executor.close()
@@ -839,12 +895,76 @@ def _cmd_perf_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_flight(args: argparse.Namespace) -> int:
+    from .obs import (
+        PerfHistory,
+        compare,
+        default_key,
+        render_flight_html,
+        validate_event_dict,
+    )
+
+    report = _load_run_report(args.report)
+    if report is None:
+        return 2
+
+    events = None
+    if args.events is not None:
+        try:
+            text = args.events.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"perf flight: cannot read {args.events}: {exc}", file=sys.stderr)
+            return 2
+        import json
+
+        events = []
+        skipped = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(data, dict) or validate_event_dict(data):
+                skipped += 1
+                continue
+            events.append(data)
+        if skipped:
+            print(
+                f"perf flight: skipped {skipped} malformed event line(s)",
+                file=sys.stderr,
+            )
+
+    history = PerfHistory(args.store)
+    key = args.key if args.key is not None else default_key(report)
+    records = history.last(key=key, n=max(args.window, 0))
+    verdict = None
+    if records:
+        verdict = compare(
+            report, [r.report for r in records], _thresholds(args)
+        )
+
+    html = render_flight_html(
+        report,
+        events=events,
+        history=records or None,
+        verdict=verdict,
+        title=f"repro-emi flight recorder — {key}",
+    )
+    args.output.write_text(html, encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
 _PERF_COMMANDS = {
     "record": _cmd_perf_record,
     "history": _cmd_perf_history,
     "diff": _cmd_perf_diff,
     "check": _cmd_perf_check,
     "export": _cmd_perf_export,
+    "flight": _cmd_perf_flight,
 }
 
 
@@ -874,10 +994,14 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    events_out = getattr(args, "events_out", None)
+    live = getattr(args, "live", False)
     want_metrics = (
         getattr(args, "trace", False)
         or getattr(args, "metrics_out", None) is not None
         or getattr(args, "mem_trace", False)
+        or events_out is not None
+        or live
     )
     if not want_metrics:
         return _COMMANDS[args.command](args)
@@ -887,13 +1011,44 @@ def main(argv: list[str] | None = None) -> int:
         parent = Path(args.metrics_out).resolve().parent
         if not parent.is_dir():
             parser.error(f"--metrics-out: directory does not exist: {parent}")
+    if events_out is not None:
+        parent = Path(events_out).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--events-out: directory does not exist: {parent}")
 
-    from .obs import disable, enable
+    from datetime import datetime, timezone
 
-    tracer = enable(
-        meta={"command": args.command, "argv": list(argv or sys.argv[1:])},
-        mem_trace=getattr(args, "mem_trace", False),
+    from .obs import (
+        EventBus,
+        JsonlSink,
+        LiveRenderer,
+        ResourceSampler,
+        disable,
+        enable,
     )
+
+    bus = None
+    if events_out is not None or live:
+        bus = EventBus()
+        if events_out is not None:
+            bus.subscribe(JsonlSink(events_out))
+        if live:
+            bus.subscribe(LiveRenderer())
+    tracer = enable(
+        meta={
+            "command": args.command,
+            "argv": list(argv or sys.argv[1:]),
+            "started_at": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        mem_trace=getattr(args, "mem_trace", False),
+        bus=bus,
+    )
+    sampler = None
+    if bus is not None:
+        sampler = ResourceSampler(tracer, bus=bus)
+        sampler.start()
     # On an exception the partial report still flushes, stamped with the
     # failure so downstream tooling never mistakes it for a healthy run.
     status_meta: dict = {"status": "ok"}
@@ -903,12 +1058,18 @@ def main(argv: list[str] | None = None) -> int:
         status_meta = {"status": "error", "error_type": type(exc).__name__}
         raise
     finally:
+        if sampler is not None:
+            sampler.stop()
         disable()
         tracer.stop_mem_trace()
         report = tracer.report(extra_meta=status_meta)
+        if bus is not None:
+            bus.close()
         if args.metrics_out is not None:
             report.write(args.metrics_out)
             print(f"wrote {args.metrics_out}")
+        if events_out is not None:
+            print(f"wrote {events_out}")
         if args.trace:
             print(report.table())
 

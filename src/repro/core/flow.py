@@ -137,7 +137,8 @@ class EmiDesignFlow:
             DesignCheckError: on any error-level diagnostic.
         """
         if self._precheck_report is None:
-            with get_tracer().span("flow.precheck"):
+            tracer = get_tracer()
+            with tracer.stage("check"), tracer.span("flow.precheck"):
                 circuit, _meas = self.design.emi_circuit()
                 self._precheck_report = run_checks(
                     problem=self.design.placement_problem(),
@@ -159,7 +160,8 @@ class EmiDesignFlow:
     ) -> Spectrum:
         """Interference spectrum with optional layout couplings."""
         self._gate()
-        with get_tracer().span("flow.simulate"):
+        tracer = get_tracer()
+        with tracer.stage("prediction"), tracer.span("flow.simulate"):
             return self.design.emission_spectrum(couplings)
 
     # -- step 2: sensitivity --------------------------------------------------
@@ -174,7 +176,7 @@ class EmiDesignFlow:
         self._gate()
         if self._sensitivity is None:
             tracer = get_tracer()
-            with tracer.span("flow.sensitivity"):
+            with tracer.stage("sensitivity"), tracer.span("flow.sensitivity"):
                 circuit, meas = self.design.emi_circuit()
                 analyzer = SensitivityAnalyzer(
                     circuit,
@@ -204,7 +206,7 @@ class EmiDesignFlow:
         if self._rules is None:
             relevant = self.relevant_pairs()
             tracer = get_tracer()
-            with tracer.span("flow.rules"):
+            with tracer.stage("rules"), tracer.span("flow.rules"):
                 self._rules = derive_rule_set(
                     self.design.parts(),
                     relevant,
@@ -230,7 +232,10 @@ class EmiDesignFlow:
         """EMI-unaware compact layout (the paper's Fig. 1 situation)."""
         self._gate()
         problem = self.problem_with_rules()
-        with get_tracer().span("flow.placement"):
+        tracer = get_tracer()
+        with tracer.stage("placement", {"layout": "baseline"}), tracer.span(
+            "flow.placement"
+        ):
             report = BaselinePlacer(problem).run()
         return problem, report
 
@@ -238,7 +243,10 @@ class EmiDesignFlow:
         """EMI-aware automatic layout (the paper's Fig. 2 / Fig. 16)."""
         self._gate()
         problem = self.problem_with_rules()
-        with get_tracer().span("flow.placement"):
+        tracer = get_tracer()
+        with tracer.stage("placement", {"layout": "optimized"}), tracer.span(
+            "flow.placement"
+        ):
             report = AutoPlacer(problem).run()
         return problem, report
 
@@ -247,7 +255,9 @@ class EmiDesignFlow:
     def evaluate(self, name: str, problem: PlacementProblem) -> LayoutEvaluation:
         """Field-simulate a layout, predict its spectrum, check limits."""
         tracer = get_tracer()
-        with tracer.span("flow.verification"):
+        with tracer.stage("verification", {"layout": name}), tracer.span(
+            "flow.verification"
+        ):
             couplings = layout_couplings(
                 problem,
                 refdes_of_interest=list(COUPLING_BRANCHES.values()),

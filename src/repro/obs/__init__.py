@@ -17,7 +17,16 @@ Zero-dependency (stdlib-only) instrumentation for the EMI design flow:
   regression gate);
 * :func:`to_chrome_trace` / :func:`to_prometheus` — exporters to the
   Chrome Trace Event Format (Perfetto, ``about://tracing``) and
-  Prometheus text exposition.
+  Prometheus text exposition;
+* :class:`EventBus` / :class:`TelemetryEvent` — the *streaming* half:
+  typed span/counter/gauge/stage/log events fanned out live to
+  pluggable subscribers (:class:`JsonlSink`, :class:`EventRingBuffer`,
+  :class:`LiveRenderer`) — the CLI's ``--events-out`` / ``--live`` and
+  the future service layer's SSE source;
+* :class:`ResourceSampler` — background RSS/CPU sampling folded into
+  ``proc.*`` gauges;
+* :func:`render_flight_html` — the self-contained per-run HTML "flight
+  recorder" artifact (``repro-emi perf flight``).
 
 Usage::
 
@@ -33,14 +42,24 @@ Span naming and the counter catalogue are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .bus import EventBus, EventRingBuffer, JsonlSink, LiveRenderer
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    TelemetryEvent,
+    validate_event_dict,
+)
 from .export import chrome_trace_json, to_chrome_trace, to_prometheus
+from .flight import render_flight_html
 from .history import (
     HistoryRecord,
     PerfHistory,
     default_history_path,
+    default_key,
     git_sha,
     host_fingerprint,
 )
+from .sampler import ResourceSampler, rss_bytes
 from .regress import Delta, RegressionVerdict, Thresholds, compare
 from .report import RunReport
 from .tracer import (
@@ -67,8 +86,20 @@ __all__ = [
     "PerfHistory",
     "HistoryRecord",
     "default_history_path",
+    "default_key",
     "git_sha",
     "host_fingerprint",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "TelemetryEvent",
+    "validate_event_dict",
+    "EventBus",
+    "EventRingBuffer",
+    "JsonlSink",
+    "LiveRenderer",
+    "ResourceSampler",
+    "rss_bytes",
+    "render_flight_html",
     "Thresholds",
     "Delta",
     "RegressionVerdict",

@@ -105,7 +105,13 @@ def to_prometheus(report: RunReport, prefix: str = "repro_emi") -> str:
     * ``span_calls_total{path=…}`` — entry count per span path;
     * ``counter_total{counter="peec.filament_pairs"}`` — whole-tree
       counter totals;
-    * ``gauge{name="mem.flow.rules.peak_bytes"}`` — report gauges.
+    * ``gauge{name="mem.flow.rules.peak_bytes"}`` — report gauges, plus
+      two *derived* cache-efficiency gauges when the corresponding
+      counters are present: ``cache.hit_ratio`` (persistent on-disk
+      tier: ``cache.hit`` over ``cache.hit + cache.miss + cache.stale``
+      — stale entries are re-solved, so they count as misses) and
+      ``coupling.cache_hit_ratio`` (the in-memory tier, which includes
+      persistent hits promoted by ``coupling.cache_hits``).
 
     Args:
         report: the run to export.
@@ -138,11 +144,37 @@ def to_prometheus(report: RunReport, prefix: str = "repro_emi") -> str:
                 f'{prefix}_counter_total{{counter="{_metric_escape(name)}"}} '
                 f"{_number(totals[name])}"
             )
-    if report.gauges:
+    gauges = dict(report.gauges)
+    gauges.update(_derived_cache_gauges(totals))
+    if gauges:
         lines.append(f"# TYPE {prefix}_gauge gauge")
-        for name in sorted(report.gauges):
+        for name in sorted(gauges):
             lines.append(
                 f'{prefix}_gauge{{name="{_metric_escape(name)}"}} '
-                f"{_number(report.gauges[name])}"
+                f"{_number(gauges[name])}"
             )
     return "\n".join(lines) + "\n"
+
+
+def _derived_cache_gauges(totals: dict[str, float]) -> dict[str, float]:
+    """Cache hit-rate gauges derived from the raw hit/miss counters.
+
+    The persistent tier counts ``cache.hit`` / ``cache.miss`` /
+    ``cache.stale`` (a stale entry forces a re-solve, so it rates as a
+    miss); the in-memory coupling tier counts ``coupling.cache_hits`` /
+    ``coupling.cache_misses`` (persistent promotions included in the
+    hits, see CacheStats.persistent_hits).  A tier with no lookups
+    emits nothing — a 0/0 ratio would read as "always missing".
+    """
+    derived: dict[str, float] = {}
+    disk_hits = totals.get("cache.hit", 0.0)
+    disk_lookups = (
+        disk_hits + totals.get("cache.miss", 0.0) + totals.get("cache.stale", 0.0)
+    )
+    if disk_lookups > 0:
+        derived["cache.hit_ratio"] = disk_hits / disk_lookups
+    mem_hits = totals.get("coupling.cache_hits", 0.0)
+    mem_lookups = mem_hits + totals.get("coupling.cache_misses", 0.0)
+    if mem_lookups > 0:
+        derived["coupling.cache_hit_ratio"] = mem_hits / mem_lookups
+    return derived

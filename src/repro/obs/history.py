@@ -42,6 +42,7 @@ __all__ = [
     "HistoryRecord",
     "PerfHistory",
     "default_history_path",
+    "default_key",
     "git_sha",
     "host_fingerprint",
 ]
@@ -157,7 +158,8 @@ class HistoryRecord:
         )
 
 
-def _default_key(report: RunReport) -> str:
+def default_key(report: RunReport) -> str:
+    """The report's series key: ``meta`` benchmark or command, else ``run``."""
     meta = report.meta
     for field in ("benchmark", "command"):
         value = meta.get(field)
@@ -200,7 +202,7 @@ class PerfHistory:
             The record as written.
         """
         record = HistoryRecord(
-            key=key if key is not None else _default_key(report),
+            key=key if key is not None else default_key(report),
             git_sha=sha if sha is not None else git_sha(),
             host=host_fingerprint(),
             hostname=platform.node(),

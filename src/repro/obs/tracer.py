@@ -16,12 +16,25 @@ parent yields one node with ``count == 2`` and the summed wall time.  That
 keeps reports bounded no matter how many times a hot path runs.
 
 The module-level :func:`get_tracer` / :func:`set_tracer` / :func:`enable` /
-:func:`disable` manage a process-global tracer (single-threaded use; the
-solvers are single-threaded throughout).
+:func:`disable` manage a process-global tracer.  **Threading contract:**
+the span stack is single-threaded — :meth:`Tracer.span` raises
+:class:`RuntimeError` when entered from any thread other than the one
+that created the tracer (a profile tree shared across threads would
+corrupt silently).  Counters and gauges, in contrast, are
+lock-protected and may be written from any thread — the background
+:class:`~repro.obs.ResourceSampler` does exactly that.
+
+When an :class:`~repro.obs.EventBus` is attached (``Tracer(bus=...)`` or
+``enable(bus=...)``), every span entry/exit, counter bump, gauge write
+and stage transition additionally publishes a
+:class:`~repro.obs.TelemetryEvent` — the streaming half of the obs
+stack.  Without a bus (and always through :class:`NullTracer`) none of
+that machinery runs.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import tracemalloc
 from collections.abc import Iterator
@@ -29,6 +42,7 @@ from types import TracebackType
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .bus import EventBus
     from .report import RunReport
 
 __all__ = [
@@ -172,6 +186,13 @@ class _SpanHandle:
 
     def __enter__(self) -> "_SpanHandle":
         tracer = self._tracer
+        if threading.get_ident() != tracer._thread_ident:
+            raise RuntimeError(
+                f"Tracer.span({self._name!r}) entered from thread "
+                f"{threading.current_thread().name!r}: the span stack is "
+                "single-threaded (owned by the thread that created the "
+                "tracer). Counters and gauges are thread-safe; spans are not."
+            )
         stack = tracer._stack
         span = stack[-1].child(self._name)
         span.count += 1
@@ -180,6 +201,9 @@ class _SpanHandle:
         if tracer.mem_trace and len(stack) == 2:
             # Entering a top-level span: measure its peak in isolation.
             tracemalloc.reset_peak()
+        bus = tracer.bus
+        if bus is not None:
+            bus.publish("span_open", self._name, path=tracer._path())
         self._t0 = time.perf_counter()
         return self
 
@@ -194,6 +218,11 @@ class _SpanHandle:
         assert self._span is not None
         self._span.wall_s += elapsed
         tracer = self._tracer
+        bus = tracer.bus
+        if bus is not None:
+            bus.publish(
+                "span_close", self._name, path=tracer._path(), value=elapsed
+            )
         tracer._stack.pop()
         if tracer.mem_trace and len(tracer._stack) == 1:
             current, peak = tracemalloc.get_traced_memory()
@@ -224,6 +253,57 @@ class _NullSpanHandle:
 _NULL_SPAN_HANDLE = _NullSpanHandle()
 
 
+class _StageHandle:
+    """Context manager publishing ``stage`` start/done/error events."""
+
+    __slots__ = ("_bus", "_name", "_attrs")
+
+    def __init__(self, bus: "EventBus", name: str, attrs: dict[str, Any] | None):
+        self._bus = bus
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_StageHandle":
+        attrs: dict[str, Any] = {"status": "start"}
+        if self._attrs:
+            attrs.update(self._attrs)
+        self._bus.publish("stage", self._name, attrs=attrs)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        status = "done" if exc_type is None else "error"
+        attrs: dict[str, Any] = {"status": status}
+        if exc_type is not None:
+            attrs["error_type"] = exc_type.__name__
+        self._bus.publish("stage", self._name, attrs=attrs)
+        return False
+
+
+class _NullStageHandle:
+    """Shared do-nothing stand-in for :class:`_StageHandle`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStageHandle":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+
+_NULL_STAGE_HANDLE = _NullStageHandle()
+
+
 class Tracer:
     """Collects a profile tree plus global gauges for one run.
 
@@ -235,35 +315,90 @@ class Tracer:
             ``mem.<span>.current_bytes`` gauges for every *top-level*
             span (a direct child of the root).  Allocation tracing slows
             the interpreter noticeably; it is strictly opt-in.
+        bus: when set, every span entry/exit, counter bump, gauge write
+            and stage transition publishes a telemetry event onto this
+            :class:`~repro.obs.EventBus` (see docs/OBSERVABILITY.md,
+            "Event stream & live mode").
     """
 
     enabled = True
 
-    def __init__(self, meta: dict[str, Any] | None = None, mem_trace: bool = False):
+    def __init__(
+        self,
+        meta: dict[str, Any] | None = None,
+        mem_trace: bool = False,
+        bus: "EventBus | None" = None,
+    ):
         self.root = Span("run")
         self.root.count = 1
         self.meta: dict[str, Any] = dict(meta or {})
         self.gauges: dict[str, float] = {}
         self.mem_trace = mem_trace
+        self.bus = bus
         self._mem_started_here = False
         self._stack: list[Span] = [self.root]
+        # The span stack belongs to the creating thread; counters and
+        # gauges are shared and guarded by the lock below.
+        self._thread_ident = threading.get_ident()
+        self._lock = threading.Lock()
         if mem_trace and not tracemalloc.is_tracing():
             tracemalloc.start()
             self._mem_started_here = True
         self._t0 = time.perf_counter()
 
+    def _path(self) -> str:
+        """The ``/``-joined open-span path (``run/...``), owner thread only."""
+        return "/".join(span.name for span in self._stack)
+
     def span(self, name: str) -> _SpanHandle:
-        """A context manager timing one entry of the named span."""
+        """A context manager timing one entry of the named span.
+
+        Raises:
+            RuntimeError: on ``__enter__`` from a thread other than the
+                tracer's owner (the span stack is single-threaded).
+        """
         return _SpanHandle(self, name)
 
+    def stage(
+        self, name: str, attrs: dict[str, Any] | None = None
+    ) -> _StageHandle | _NullStageHandle:
+        """A context manager publishing ``stage`` start/done/error events.
+
+        Purely an event-stream construct: it records nothing in the
+        profile tree and is a shared no-op when no bus is attached.
+        """
+        bus = self.bus
+        if bus is None:
+            return _NULL_STAGE_HANDLE
+        return _StageHandle(bus, name, attrs)
+
     def count(self, name: str, n: float = 1) -> None:
-        """Add ``n`` to a named counter on the innermost open span."""
-        counters = self._stack[-1].counters
-        counters[name] = counters.get(name, 0) + n
+        """Add ``n`` to a named counter on the innermost open span.
+
+        Thread-safe; off-owner-thread increments attach to whichever
+        span is innermost at that instant (spans only change on the
+        owner thread).
+        """
+        on_owner = threading.get_ident() == self._thread_ident
+        with self._lock:
+            counters = self._stack[-1].counters
+            counters[name] = counters.get(name, 0) + n
+        bus = self.bus
+        if bus is not None:
+            bus.publish(
+                "counter",
+                name,
+                path=self._path() if on_owner else "",
+                value=float(n),
+            )
 
     def gauge(self, name: str, value: float) -> None:
-        """Record a point-in-time value (last write wins)."""
-        self.gauges[name] = float(value)
+        """Record a point-in-time value (last write wins; thread-safe)."""
+        with self._lock:
+            self.gauges[name] = float(value)
+        bus = self.bus
+        if bus is not None:
+            bus.publish("gauge", name, value=float(value))
 
     def elapsed_s(self) -> float:
         """Wall time since the tracer was created [s]."""
@@ -287,8 +422,9 @@ class Tracer:
         spans = data.get("spans")
         if spans is not None:
             self._stack[-1].child(under).merge(Span.from_dict(spans))
-        for name, value in data.get("gauges", {}).items():
-            self.gauges[f"{under}.{name}"] = float(value)
+        with self._lock:
+            for name, value in data.get("gauges", {}).items():
+                self.gauges[f"{under}.{name}"] = float(value)
 
     def stop_mem_trace(self) -> None:
         """Stop :mod:`tracemalloc` if this tracer was the one to start it."""
@@ -308,7 +444,9 @@ class Tracer:
         meta = dict(self.meta)
         if extra_meta:
             meta.update(extra_meta)
-        return RunReport(root=self.root, gauges=dict(self.gauges), meta=meta)
+        with self._lock:
+            gauges = dict(self.gauges)
+        return RunReport(root=self.root, gauges=gauges, meta=meta)
 
 
 class NullTracer:
@@ -316,21 +454,34 @@ class NullTracer:
 
     Installed by default; instrumented code paths therefore cost one
     attribute lookup and one call per span/counter site, which is
-    unmeasurable against any solver work.
+    unmeasurable against any solver work.  API parity with
+    :class:`Tracer` (same public method set) is asserted by the tests,
+    so instrumented code never needs an ``isinstance`` check.
     """
 
     enabled = False
     mem_trace = False
+    bus: "EventBus | None" = None
 
     def span(self, name: str) -> _NullSpanHandle:
         """Return the shared no-op span handle."""
         return _NULL_SPAN_HANDLE
+
+    def stage(
+        self, name: str, attrs: dict[str, Any] | None = None
+    ) -> _NullStageHandle:
+        """Return the shared no-op stage handle (no event is emitted)."""
+        return _NULL_STAGE_HANDLE
 
     def count(self, name: str, n: float = 1) -> None:
         """Discard the increment."""
 
     def gauge(self, name: str, value: float) -> None:
         """Discard the value."""
+
+    def elapsed_s(self) -> float:
+        """Always 0.0 (the null tracer keeps no clock)."""
+        return 0.0
 
     def absorb_worker(
         self, data: dict[str, Any], under: str = "parallel.worker"
@@ -339,6 +490,12 @@ class NullTracer:
 
     def stop_mem_trace(self) -> None:
         """No memory tracing to stop."""
+
+    def report(self, extra_meta: dict[str, Any] | None = None) -> "RunReport":
+        """An empty report (API parity; the null tracer records nothing)."""
+        from .report import RunReport
+
+        return RunReport(root=Span("run"), gauges={}, meta=dict(extra_meta or {}))
 
 
 NULL_TRACER = NullTracer()
@@ -358,9 +515,13 @@ def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     return tracer
 
 
-def enable(meta: dict[str, Any] | None = None, mem_trace: bool = False) -> Tracer:
+def enable(
+    meta: dict[str, Any] | None = None,
+    mem_trace: bool = False,
+    bus: "EventBus | None" = None,
+) -> Tracer:
     """Install (and return) a fresh global :class:`Tracer`."""
-    tracer = Tracer(meta=meta, mem_trace=mem_trace)
+    tracer = Tracer(meta=meta, mem_trace=mem_trace, bus=bus)
     set_tracer(tracer)
     return tracer
 

@@ -30,11 +30,28 @@ the currently open span, so pool runs profile end-to-end (the hottest
 PEEC code no longer disappears from the trace).  ``parallel.worker``
 wall time is summed across processes — CPU-busy time, legitimately
 larger than the parent's wall-clock span on multi-core runs.
+
+**Live worker chunk events** — the span capture above is post-hoc (it
+merges when a chunk's *result* arrives).  When the parent tracer also
+carries an :class:`~repro.obs.EventBus`, the pool is additionally wired
+with a multiprocessing queue: every worker pushes
+``parallel.chunk_start`` / ``parallel.chunk_done`` marks as its chunk
+begins and ends, and a parent-side drainer thread republishes them as
+``log`` events on the bus *while the fan-out is still running* — the
+live progress feed for ``--live`` / ``--events-out``.  The queue uses
+synchronous puts (``multiprocessing.SimpleQueue``), so no chunk event
+is ever lost between a worker finishing and the parent's final drain;
+any failure of the event machinery degrades to "no live events", never
+to a failed map.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pickle
+import threading
+import time
 from collections.abc import Callable, Iterable
 from typing import Any
 
@@ -46,16 +63,37 @@ __all__ = ["CouplingExecutor"]
 #: pickling overhead.  4 keeps the tail worker busy without flooding IPC.
 _CHUNKS_PER_WORKER = 4
 
+#: Worker-side chunk-event queue, installed by the pool initializer;
+#: ``None`` in the parent and in pools created without an event bus.
+_EVENT_QUEUE: Any | None = None
+
+
+def _worker_events_init(queue: Any) -> None:
+    """Pool initializer: remember the parent's chunk-event queue."""
+    global _EVENT_QUEUE  # physlint: disable=API002 -- per-worker-process wiring
+    _EVENT_QUEUE = queue
+
+
+def _put_chunk_event(mark: str, chunk: int, items: int) -> None:
+    """Push one chunk mark to the parent, swallowing every failure."""
+    queue = _EVENT_QUEUE
+    if queue is None:
+        return
+    with contextlib.suppress(Exception):
+        queue.put((mark, chunk, items, os.getpid(), time.time()))
+
 
 def _run_chunk(payload: bytes) -> tuple[list[Any], dict[str, Any] | None]:
     """Worker-side entry: apply ``fn`` to every item of one chunk, in order.
 
-    The payload is a pre-pickled ``(fn, items, traced)`` triple:
-    serialising in the parent (see
+    The payload is a pre-pickled ``(fn, items, traced, stream, chunk)``
+    tuple: serialising in the parent (see
     :meth:`CouplingExecutor._map_parallel`) turns an unpicklable task
     into a synchronous error with a clean serial fallback, instead of an
     asynchronous failure inside the pool's feeder thread that can wedge
-    the pool beyond recovery.
+    the pool beyond recovery.  ``stream`` asks the worker to push
+    chunk start/done marks to the parent's event queue; ``chunk`` is
+    the chunk's index within its map call.
 
     Returns:
         ``(results, capture)`` where ``capture`` is ``None`` for
@@ -66,22 +104,93 @@ def _run_chunk(payload: bytes) -> tuple[list[Any], dict[str, Any] | None]:
         recorded into oblivion) and the null tracer is restored before
         returning, also when the task raises.
     """
-    fn, items, traced = pickle.loads(payload)
-    if not traced:
-        return [fn(item) for item in items], None
-    from ..obs import NULL_TRACER, Tracer, set_tracer
-
-    tracer = Tracer()
-    set_tracer(tracer)
+    fn, items, traced, stream, chunk = pickle.loads(payload)
+    if stream:
+        _put_chunk_event("parallel.chunk_start", chunk, len(items))
     try:
-        results = [fn(item) for item in items]
+        if not traced:
+            return [fn(item) for item in items], None
+        from ..obs import NULL_TRACER, Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            results = [fn(item) for item in items]
+        finally:
+            set_tracer(NULL_TRACER)
+        tracer.root.wall_s = tracer.elapsed_s()
+        return results, {
+            "spans": tracer.root.to_dict(),
+            "gauges": dict(tracer.gauges),
+        }
     finally:
-        set_tracer(NULL_TRACER)
-    tracer.root.wall_s = tracer.elapsed_s()
-    return results, {
-        "spans": tracer.root.to_dict(),
-        "gauges": dict(tracer.gauges),
-    }
+        if stream:
+            _put_chunk_event("parallel.chunk_done", chunk, len(items))
+
+
+class _ChunkEventDrainer:
+    """Parent-side thread republishing worker chunk marks onto the bus.
+
+    Workers push ``(mark, chunk, items, pid, ts)`` tuples through a
+    :class:`multiprocessing.SimpleQueue` (synchronous puts — the bytes
+    are in the pipe before the chunk's result future resolves); this
+    thread polls the queue and publishes each mark as a ``log`` event.
+    :meth:`stop` joins the thread and then drains whatever is left, so
+    every mark emitted before the last future resolved is republished.
+    """
+
+    _POLL_S = 0.02
+
+    def __init__(self, queue: Any, bus: Any):
+        self._queue = queue
+        self._bus = bus
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-chunk-events", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._drain_available()
+
+    def _publish(self, item: Any) -> None:
+        try:
+            mark, chunk, items, pid, ts = item
+            self._bus.publish(
+                "log",
+                str(mark),
+                attrs={
+                    "chunk": int(chunk),
+                    "items": int(items),
+                    "pid": int(pid),
+                    "worker_ts": float(ts),
+                },
+            )
+        except Exception:
+            pass
+
+    def _drain_available(self) -> None:
+        try:
+            while not self._queue.empty():
+                self._publish(self._queue.get())
+        except (OSError, EOFError):
+            pass
+
+    def _run(self) -> None:
+        while True:
+            try:
+                if self._queue.empty():
+                    if self._stop.is_set():
+                        return
+                    time.sleep(self._POLL_S)
+                    continue
+                self._publish(self._queue.get())
+            except (OSError, EOFError):
+                return
 
 
 class CouplingExecutor:
@@ -108,6 +217,7 @@ class CouplingExecutor:
         self.workers = workers
         self.chunk_size = chunk_size
         self._pool: Any | None = None
+        self._events_queue: Any | None = None
 
     @property
     def is_parallel(self) -> bool:
@@ -156,23 +266,58 @@ class CouplingExecutor:
         # Pickle in the parent: raises here (and falls back serially) for
         # unpicklable tasks rather than poisoning the pool's feeder thread.
         traced = bool(tracer.enabled)
-        payloads = [pickle.dumps((fn, chunk, traced)) for chunk in chunks]
-        tracer.count("parallel.chunks", len(chunks))
         pool = self._ensure_pool()
-        futures = [pool.submit(_run_chunk, payload) for payload in payloads]
-        results: list[Any] = []
-        for future in futures:  # submission order == task order
-            chunk_results, capture = future.result()
-            results.extend(chunk_results)
-            if capture is not None:
-                tracer.absorb_worker(capture)
-        return results
+        bus = getattr(tracer, "bus", None)
+        stream = bus is not None and self._events_queue is not None
+        payloads = [
+            pickle.dumps((fn, chunk, traced, stream, index))
+            for index, chunk in enumerate(chunks)
+        ]
+        tracer.count("parallel.chunks", len(chunks))
+        drainer = None
+        if stream:
+            bus.publish(
+                "log",
+                "parallel.map_start",
+                attrs={"chunks": len(chunks), "tasks": len(items)},
+            )
+            drainer = _ChunkEventDrainer(self._events_queue, bus)
+            drainer.start()
+        try:
+            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+            results: list[Any] = []
+            for future in futures:  # submission order == task order
+                chunk_results, capture = future.result()
+                results.extend(chunk_results)
+                if capture is not None:
+                    tracer.absorb_worker(capture)
+            return results
+        finally:
+            if drainer is not None:
+                drainer.stop()
 
     def _ensure_pool(self) -> Any:
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            initializer = None
+            initargs: tuple[Any, ...] = ()
+            # Wire the chunk-event queue only when a bus exists at pool
+            # creation: bus-less runs keep zero extra moving parts.
+            if getattr(get_tracer(), "bus", None) is not None:
+                try:
+                    import multiprocessing
+
+                    self._events_queue = multiprocessing.SimpleQueue()
+                    initializer = _worker_events_init
+                    initargs = (self._events_queue,)
+                except Exception:
+                    self._events_queue = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=initializer,
+                initargs=initargs,
+            )
         return self._pool
 
     def close(self) -> None:
@@ -185,6 +330,12 @@ class CouplingExecutor:
         if self._pool is not None:
             pool, self._pool = self._pool, None
             pool.shutdown(wait=True, cancel_futures=True)
+        if self._events_queue is not None:
+            queue, self._events_queue = self._events_queue, None
+            try:
+                queue.close()
+            except (OSError, AttributeError):
+                pass
 
     def __enter__(self) -> "CouplingExecutor":
         return self

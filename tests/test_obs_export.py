@@ -134,6 +134,43 @@ class TestPrometheus:
         assert "repro_emi_gauge" not in text
 
 
+class TestDerivedCacheGauges:
+    def _report(self, counters):
+        root = Span("run")
+        root.count = 1
+        root.wall_s = 1.0
+        root.counters.update(counters)
+        return RunReport(root=root)
+
+    def test_memory_tier_hit_ratio(self):
+        text = to_prometheus(
+            self._report({"coupling.cache_hits": 3.0, "coupling.cache_misses": 1.0})
+        )
+        assert 'repro_emi_gauge{name="coupling.cache_hit_ratio"} 0.75' in text
+
+    def test_persistent_tier_counts_stale_as_miss(self):
+        text = to_prometheus(
+            self._report({"cache.hit": 2.0, "cache.miss": 1.0, "cache.stale": 1.0})
+        )
+        assert 'repro_emi_gauge{name="cache.hit_ratio"} 0.5' in text
+
+    def test_no_lookups_emits_no_ratio(self):
+        # A 0/0 tier stays silent — it would read as "always missing".
+        text = to_prometheus(self._report({"cache.write": 5.0}))
+        assert "hit_ratio" not in text
+
+    def test_all_misses_is_zero_not_absent(self):
+        text = to_prometheus(self._report({"coupling.cache_misses": 4.0}))
+        assert 'repro_emi_gauge{name="coupling.cache_hit_ratio"} 0' in text
+
+    def test_derived_gauges_do_not_clobber_report_gauges(self):
+        report = self._report({"coupling.cache_hits": 1.0})
+        report.gauges["mem.x"] = 7.0
+        text = to_prometheus(report)
+        assert 'repro_emi_gauge{name="mem.x"} 7' in text
+        assert 'repro_emi_gauge{name="coupling.cache_hit_ratio"} 1' in text
+
+
 def regenerate_golden() -> None:  # pragma: no cover - maintenance helper
     GOLDEN.parent.mkdir(exist_ok=True)
     GOLDEN.write_text(chrome_trace_json(golden_report()) + "\n")
