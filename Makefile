@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ruff mypy physlint physlint-baseline bench-smoke events-smoke perf-baseline perf-check
+.PHONY: test lint ruff mypy physlint physlint-baseline conlint race-check bench-smoke events-smoke perf-baseline perf-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,8 +34,9 @@ perf-check:
 		--baseline benchmarks/baselines/PERF_rules_demo_board.json \
 		--fail-on regression --wall-threshold 4.0
 
-## Full static gate: style (ruff) + types (mypy) + physics lint (physlint).
-lint: ruff mypy physlint
+## Full static gate: style (ruff) + types (mypy) + physics lint (physlint)
+## + concurrency lint (conlint).
+lint: ruff mypy physlint conlint
 
 ruff:
 	ruff check src/ tests/ examples/ benchmarks/
@@ -50,3 +51,17 @@ physlint:
 physlint-baseline:
 	$(PYTHON) -m repro.cli lint-src src/repro --no-baseline \
 		--write-baseline src/repro/lint/physlint_baseline.json
+
+## Concurrency rules alone (docs/CONLINT.md).  No baseline: the tree is
+## conlint-clean modulo inline waivers, and stays that way.
+conlint:
+	$(PYTHON) -m repro.cli lint-src src/repro --select CON --no-baseline
+
+## The threaded suites with every threading.Lock/RLock instrumented by
+## the runtime lock sanitizer (repro.lint.sanitizer): lock-order
+## inversions and over-threshold holds fail the test they happen in.
+race-check:
+	REPRO_EMI_LOCK_SANITIZER=1 $(PYTHON) -m pytest -x -q \
+		tests/test_concurrency_hammer.py tests/test_lint_sanitizer.py \
+		tests/test_obs.py tests/test_obs_events.py tests/test_obs_stream.py \
+		tests/test_parallel_executor.py

@@ -185,12 +185,16 @@ class TrapezoidSource:
         """
         amplitude = abs(self.v_high - self.v_low)
         d = self.duty
-        f1 = 1.0 / (math.pi * d * self.period)
-        f2 = 1.0 / (math.pi * min(self.t_rise, self.t_fall))
-        env = np.full_like(np.asarray(freqs, dtype=float), 2.0 * amplitude * d)
+        t_edge = min(self.t_rise, self.t_fall)
+        if d <= 0.0 or t_edge <= 0.0:
+            raise ValueError("envelope needs duty > 0 and positive edge times")
         f = np.asarray(freqs, dtype=float)
-        mask1 = f > f1
-        env[mask1] *= f1 / f[mask1]
-        mask2 = f > f2
-        env[mask2] *= f2 / f[mask2]
+        if np.any(f <= 0.0):
+            raise ValueError("envelope is defined for positive frequencies only")
+        # 1/(pi d T) written via the fundamental to keep one division.
+        f1 = self.switching_frequency / (math.pi * d)
+        f2 = 1.0 / (math.pi * t_edge)
+        env = np.full_like(f, 2.0 * amplitude * d)
+        env = np.where(f > f1, env * f1 / f, env)
+        env = np.where(f > f2, env * f2 / f, env)
         return 20.0 * np.log10(np.maximum(env, 1e-30))

@@ -103,6 +103,16 @@ class TransientSolver:
             return self._integrate(t_end, dt, t_start, tracer)
 
     def _integrate(self, t_end: float, dt: float, t_start, tracer) -> TransientResult:
+        # The companion models below divide by these element values; fail
+        # fast with the element name instead of a bare ZeroDivisionError
+        # three loops deep.
+        if dt <= 0.0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        for e in self.circuit.elements:
+            if isinstance(e, Resistor) and e.resistance <= 0.0:
+                raise ValueError(f"resistor {e.name}: resistance must be > 0")
+            if isinstance(e, IdealDiode) and (e.r_on <= 0.0 or e.r_off <= 0.0):
+                raise ValueError(f"diode {e.name}: r_on/r_off must be > 0")
         solve_count = 0
         mna = self._mna
         n_nodes, n_ind, n_src = mna.n_nodes, mna.n_ind, mna.n_src
@@ -157,7 +167,12 @@ class TransientSolver:
                     if isinstance(e, Resistor):
                         stamp_g(e.n1, e.n2, 1.0 / e.resistance)
                     elif isinstance(e, Switch):
-                        stamp_g(e.n1, e.n2, 1.0 / e.resistance_at(t))
+                        r_sw = e.resistance_at(t)
+                        if r_sw <= 0.0:
+                            raise ValueError(
+                                f"switch {e.name}: resistance_at({t:g}) <= 0"
+                            )
+                        stamp_g(e.n1, e.n2, 1.0 / r_sw)
                     elif isinstance(e, IdealDiode):
                         if diode_states[e.name]:
                             stamp_g(e.n1, e.n2, 1.0 / e.r_on)

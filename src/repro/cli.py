@@ -146,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: warning; the exit code is the max severity, 1 or 2)",
     )
     p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes or family prefixes to run "
+        "(e.g. CON, or NUM002,UNT; default: every rule)",
+    )
+    p_lint.add_argument(
         "--baseline",
         type=Path,
         default=None,
@@ -483,8 +490,16 @@ def _cmd_lint_src(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(f"lint-src: {exc}", file=sys.stderr)
                 return int(Severity.ERROR)
+    select = None
+    if args.select:
+        select = [token.strip().upper() for token in args.select.split(",") if token.strip()]
+        if not select:
+            print("lint-src: --select given but no codes parsed", file=sys.stderr)
+            return int(Severity.ERROR)
     try:
-        result = lint_paths(paths=list(args.paths) or None, baseline=baseline)
+        result = lint_paths(
+            paths=list(args.paths) or None, baseline=baseline, select=select
+        )
     except FileNotFoundError as exc:
         print(f"lint-src: {exc}", file=sys.stderr)
         return int(Severity.ERROR)

@@ -110,14 +110,14 @@ class Polygon2D:
     def centroid(self) -> Vec2:
         """Area centroid."""
         a = _signed_area(self.vertices)
-        if abs(a) < EPS:
+        n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
+        if -EPS < a < EPS:
             # Degenerate: fall back to vertex average.
-            n = len(self.vertices)
             sx = sum(v.x for v in self.vertices)
             sy = sum(v.y for v in self.vertices)
             return Vec2(sx / n, sy / n)
         cx = cy = 0.0
-        n = len(self.vertices)
         for i in range(n):
             p = self.vertices[i]
             q = self.vertices[(i + 1) % n]

@@ -57,6 +57,8 @@ class Vec2:
     __rmul__ = __mul__
 
     def __truediv__(self, scalar: float) -> "Vec2":
+        if scalar == 0:
+            raise ZeroDivisionError("Vec2 division by zero scalar")
         return Vec2(self.x / scalar, self.y / scalar)
 
     def __neg__(self) -> "Vec2":
@@ -149,6 +151,8 @@ class Vec3:
     __rmul__ = __mul__
 
     def __truediv__(self, scalar: float) -> "Vec3":
+        if scalar == 0:
+            raise ZeroDivisionError("Vec3 division by zero scalar")
         return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
 
     def __neg__(self) -> "Vec3":

@@ -12,7 +12,15 @@ them*: a custom AST analyzer with two rule families —
 * **numerical robustness / API hygiene** (NUM001–NUM005, API001–API002):
   exact float equality, unguarded division, sqrt/log of differences,
   plain ``sum()`` in PEEC kernels, mutable defaults, module-global
-  state.
+  state;
+* **concurrency — "conlint"** (CON001–CON005): a per-class thread model
+  (lock attributes, ``with <lock>:`` scopes, thread creation sites)
+  feeds guarded-by inference and a lock-order graph; writes outside
+  their inferred lock, inconsistent acquisition orders, locks shipped
+  into process pools, join-less daemon threads and callbacks invoked
+  under a lock are flagged (``docs/CONLINT.md``).  The static pass is
+  paired with a runtime lock sanitizer
+  (:mod:`repro.lint.sanitizer`, ``make race-check``).
 
 Entry points:
 
@@ -32,7 +40,9 @@ from .base import LintFinding
 from .baseline import DEFAULT_BASELINE_PATH, Baseline
 from .engine import LintResult, default_target, lint_paths, lint_sources
 from .registry import lint_rule_specs, lint_spec_for
+from .sanitizer import LockSanitizer, SanitizerFinding, sanitized
 from .suppress import Suppressions, scan_suppressions
+from .threads import ClassModel, build_class_models
 
 __all__ = [
     "LintFinding",
@@ -46,4 +56,9 @@ __all__ = [
     "lint_spec_for",
     "Suppressions",
     "scan_suppressions",
+    "ClassModel",
+    "build_class_models",
+    "LockSanitizer",
+    "SanitizerFinding",
+    "sanitized",
 ]

@@ -25,6 +25,7 @@ from ..obs import get_tracer
 from .base import LintFinding
 from .baseline import Baseline
 from .registry import lint_spec_for
+from .rules_concurrency import analyze_concurrency
 from .rules_numeric import NumericRuleVisitor
 from .rules_units import UnitRuleVisitor
 from .suppress import scan_suppressions
@@ -91,11 +92,32 @@ def _relative_label(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
-def lint_sources(sources: dict[str, str]) -> tuple[list[LintFinding], int]:
+def _matches_select(code: str, select: list[str] | None) -> bool:
+    """Whether a rule code survives a ``--select`` prefix filter.
+
+    ``select=None`` (the default) selects everything; ``["CON"]``
+    selects the whole concurrency family; ``["NUM002", "UNT"]`` mixes
+    exact codes and families.  LNT001 (a module that does not parse)
+    always survives — a selection cannot make an unanalyzable module
+    look clean.
+    """
+    if select is None:
+        return True
+    if code == "LNT001":
+        return True
+    return any(code.startswith(prefix) for prefix in select)
+
+
+def lint_sources(
+    sources: dict[str, str], select: list[str] | None = None
+) -> tuple[list[LintFinding], int]:
     """Analyze in-memory modules (label -> source text).
 
     The label doubles as the finding's ``file`` and decides PEEC-kernel
-    treatment (NUM004) by containing a ``peec`` path part.
+    treatment (NUM004) by containing a ``peec`` path part.  ``select``
+    restricts the surfaced findings to the given code prefixes (see
+    :func:`_matches_select`); inline-suppression counts then cover only
+    the selected rules.
 
     Returns:
         (findings after inline suppressions, number suppressed inline).
@@ -131,7 +153,12 @@ def lint_sources(sources: dict[str, str]) -> tuple[list[LintFinding], int]:
             numeric.run(tree)
             units = UnitRuleVisitor(label, table)
             units.run(tree)
-            module_findings = numeric.findings + units.findings
+            concurrency = analyze_concurrency(label, tree)
+            module_findings = [
+                finding
+                for finding in numeric.findings + units.findings + concurrency
+                if _matches_select(finding.code, select)
+            ]
             suppressions = scan_suppressions(sources[label])
             kept = [
                 finding
@@ -150,6 +177,7 @@ def lint_paths(
     baseline: Baseline | None = None,
     root: Path | None = None,
     subject: str = "",
+    select: list[str] | None = None,
 ) -> LintResult:
     """Analyze a source tree and return the filtered report.
 
@@ -161,6 +189,8 @@ def lint_paths(
             baseline (default: the common target's parent, so labels read
             ``repro/circuit/mna.py``).
         subject: label for the report header (defaults to the target).
+        select: restrict surfaced findings to these code prefixes
+            (``["CON"]`` runs conlint alone); ``None`` runs every rule.
 
     Raises:
         FileNotFoundError: when a given path does not exist.
@@ -175,7 +205,7 @@ def lint_paths(
             _relative_label(path, root): path.read_text(encoding="utf-8")
             for path in files
         }
-        findings, suppressed = lint_sources(sources)
+        findings, suppressed = lint_sources(sources, select=select)
         if baseline is not None:
             findings, baselined = baseline.filter(findings)
         else:
@@ -190,7 +220,7 @@ def lint_paths(
         subject=subject or f"{', '.join(str(t) for t in targets)} ({len(files)} files)"
     )
     report.extend([finding.to_diagnostic() for finding in findings], "physlint")
-    for family in ("units", "numeric", "api"):
+    for family in ("units", "numeric", "api", "concurrency"):
         if family not in report.analyzers:
             report.analyzers.append(family)
     return LintResult(

@@ -8,10 +8,12 @@ cross-check the two.
 
 Codes are grouped by rule family::
 
-    UNT0xx  units      (dimension inference over annotated APIs)
-    NUM0xx  numeric    (floating-point robustness)
-    API0xx  api        (interface hygiene: mutable defaults, global state)
-    LNT0xx  analyzer   (the analyzer's own operational diagnostics)
+    UNT0xx  units        (dimension inference over annotated APIs)
+    NUM0xx  numeric      (floating-point robustness)
+    API0xx  api          (interface hygiene: mutable defaults, global state)
+    CON0xx  concurrency  (lock discipline over the project thread model,
+                          see docs/CONLINT.md)
+    LNT0xx  analyzer     (the analyzer's own operational diagnostics)
 
 Codes are append-only: a released code never changes meaning, and retired
 codes are not reused.
@@ -147,6 +149,57 @@ _SPECS: tuple[RuleSpec, ...] = (
         "Rebinding module globals from inside functions makes behaviour "
         "order-dependent and untestable; prefer an explicit object or a "
         "documented singleton accessor.",
+    ),
+    # -- concurrency ------------------------------------------------------
+    RuleSpec(
+        "CON001",
+        "write-outside-inferred-lock",
+        _ERROR,
+        "concurrency",
+        "An attribute written under a lock in one method and without it "
+        "in another races: the unguarded write can interleave with a "
+        "locked read-modify-write and silently lose an update.  Guarded-by "
+        "sets are inferred from 'with self.<lock>:' write sites "
+        "(docs/CONLINT.md).",
+    ),
+    RuleSpec(
+        "CON002",
+        "inconsistent-lock-order",
+        _ERROR,
+        "concurrency",
+        "Two locks acquired in both nesting orders deadlock the moment "
+        "two threads take the orders concurrently; a non-reentrant Lock "
+        "re-acquired while held deadlocks a single thread.  The lock-order "
+        "graph over every 'with' nesting must stay acyclic.",
+    ),
+    RuleSpec(
+        "CON003",
+        "lock-captured-into-worker",
+        _ERROR,
+        "concurrency",
+        "Locks and open file handles shipped into process-pool tasks or "
+        "thread targets do not survive pickling/fork coherently: a forked "
+        "copy of a held lock stays held forever, and a shared handle "
+        "interleaves writes.",
+    ),
+    RuleSpec(
+        "CON004",
+        "daemon-thread-without-join",
+        _WARNING,
+        "concurrency",
+        "A daemon thread with no join path dies at interpreter exit at an "
+        "arbitrary point in its work — half-written files, dropped final "
+        "samples, and CI flakes that only reproduce under load.",
+    ),
+    RuleSpec(
+        "CON005",
+        "callback-under-lock",
+        _WARNING,
+        "concurrency",
+        "Invoking externally-supplied code while holding a lock hands "
+        "your critical section to arbitrary code: a callback that blocks "
+        "stalls every thread on the lock, and one that re-enters the "
+        "object deadlocks it.",
     ),
     # -- analyzer ---------------------------------------------------------
     RuleSpec(

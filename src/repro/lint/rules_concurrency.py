@@ -1,0 +1,270 @@
+"""Concurrency rules — the CON family ("conlint").
+
+Operates on the per-class thread model built by
+:mod:`repro.lint.threads` rather than on raw AST nodes: every rule is a
+query over a :class:`~repro.lint.threads.ClassModel`.
+
+Rules::
+
+    CON001  attribute written both under and outside its inferred lock
+    CON002  inconsistent lock acquisition order (lock-order graph cycle,
+            including nested re-acquisition of a non-reentrant Lock)
+    CON003  lock / open file handle / whole ``self`` captured into
+            process-pool or thread machinery
+    CON004  daemon thread started without a join path
+    CON005  externally-supplied callback invoked while holding a lock
+
+Like the NUM family, every rule errs on the quiet side:
+
+* **Guarded-by inference (CON001)** considers *writes* only.  An
+  attribute's guard set is the intersection of the locks held across all
+  of its non-constructor write sites that hold any lock at all; if that
+  inference succeeds and another non-constructor write holds none of the
+  guards, the unguarded site is flagged.  Reads outside the lock are
+  deliberately not flagged — lock-free reads of monotonic counters and
+  published-once references are a common, documented pattern in this
+  codebase, and flagging them would bury the writes that actually
+  corrupt state.
+* **Lock ordering (CON002)** sees lexical ``with self.<lock>:`` nesting
+  only; ``.acquire()``/``.release()`` call pairs are invisible to the
+  model (and to reviewers — prefer ``with``).
+* **Classes without any lock attribute are exempt from CON001/CON005**:
+  with no lock there is no inferred discipline to violate, and
+  single-thread-confined helper classes would otherwise flood the
+  report.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+
+from .base import LintFinding
+from .registry import lint_spec_for
+from .threads import CONSTRUCTOR_METHODS, ClassModel, build_class_models
+
+__all__ = ["analyze_concurrency"]
+
+
+def _finding(
+    code: str, file: str, line: int, symbol: str, message: str, hint: str = ""
+) -> LintFinding:
+    return LintFinding(
+        code=code,
+        severity=lint_spec_for(code).severity,
+        message=message,
+        file=file,
+        line=line,
+        symbol=symbol,
+        hint=hint,
+    )
+
+
+# -- CON001: writes outside the inferred guard ---------------------------------
+
+
+def _con001(model: ClassModel, file: str) -> list[LintFinding]:
+    if not model.locks:
+        return []
+    findings: list[LintFinding] = []
+    by_attr: dict[str, list] = defaultdict(list)
+    for access in model.accesses:
+        if access.write and access.attr not in model.locks:
+            by_attr[access.attr].append(access)
+    for attr, writes in sorted(by_attr.items()):
+        runtime_writes = [w for w in writes if w.method not in CONSTRUCTOR_METHODS]
+        locked = [w for w in runtime_writes if w.locks]
+        if not locked:
+            continue  # no lock discipline inferred for this attribute
+        guards: set[str] = set(locked[0].locks)
+        for write in locked[1:]:
+            guards &= write.locks
+        if not guards:
+            continue  # locked writes disagree; ordering rules cover that
+        guard_text = ", ".join(f"self.{g}" for g in sorted(guards))
+        seen_lines: set[int] = set()
+        for write in runtime_writes:
+            if write.locks & guards or write.line in seen_lines:
+                continue
+            seen_lines.add(write.line)
+            findings.append(
+                _finding(
+                    "CON001",
+                    file,
+                    write.line,
+                    f"{model.name}.{write.method}",
+                    f"attribute 'self.{attr}' is written under {guard_text} "
+                    f"elsewhere but without it here — racy against "
+                    "concurrent locked writers",
+                    hint=f"wrap the write in 'with {guard_text}:' or document "
+                    "single-thread confinement and drop the locked writes",
+                )
+            )
+    return findings
+
+
+# -- CON002: lock-order graph cycles -------------------------------------------
+
+
+def _con002(models: list[ClassModel], file: str) -> list[LintFinding]:
+    # Edges are keyed on class-qualified lock names so two classes using
+    # the same attribute name ('_lock') stay distinct.
+    edges: dict[tuple[str, str], list] = defaultdict(list)
+    kinds: dict[str, str] = {}
+    for model in models:
+        for lock in model.locks.values():
+            kinds[f"{model.name}.{lock.name}"] = lock.kind
+        for edge in model.lock_order_edges:
+            outer = f"{model.name}.{edge.outer}"
+            inner = f"{model.name}.{edge.inner}"
+            edges[(outer, inner)].append((edge, model.name))
+
+    adjacency: dict[str, set[str]] = defaultdict(set)
+    for outer, inner in edges:
+        if outer != inner:
+            adjacency[outer].add(inner)
+
+    def reachable(start: str, goal: str) -> bool:
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    findings: list[LintFinding] = []
+    for (outer, inner), sites in sorted(edges.items()):
+        edge, class_name = sites[0]
+        symbol = f"{class_name}.{edge.method}"
+        if outer == inner:
+            if kinds.get(outer) == "Lock":
+                findings.append(
+                    _finding(
+                        "CON002",
+                        file,
+                        edge.line,
+                        symbol,
+                        f"non-reentrant lock 'self.{edge.inner}' re-acquired "
+                        "while already held — self-deadlock",
+                        hint="use threading.RLock, or restructure so the "
+                        "locked region is entered once",
+                    )
+                )
+            continue
+        if reachable(inner, outer):
+            findings.append(
+                _finding(
+                    "CON002",
+                    file,
+                    edge.line,
+                    symbol,
+                    f"lock '{inner}' acquired while holding '{outer}', but "
+                    "the opposite acquisition order also exists — two "
+                    "threads taking the orders concurrently deadlock",
+                    hint="pick one global acquisition order and stick to it "
+                    "(docs/CONLINT.md)",
+                )
+            )
+    return findings
+
+
+# -- CON003: locks / handles shipped into pools --------------------------------
+
+
+def _con003(model: ClassModel, file: str) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for capture in model.pool_captures:
+        if capture.what == "self" and not (model.locks or model.handle_attrs):
+            continue
+        if capture.what == "self":
+            what = "'self' (carrying lock/handle attributes)"
+        elif capture.what in model.locks:
+            what = f"lock 'self.{capture.what}'"
+        else:
+            what = f"open file handle 'self.{capture.what}'"
+        findings.append(
+            _finding(
+                "CON003",
+                file,
+                capture.line,
+                f"{model.name}.{capture.method}",
+                f"{what} captured into worker machinery via {capture.via} — "
+                "locks and handles do not survive pickling/fork coherently",
+                hint="ship plain data; rebuild locks/handles inside the worker",
+            )
+        )
+    return findings
+
+
+# -- CON004: daemon threads without a join path --------------------------------
+
+
+def _con004(model: ClassModel, file: str) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for thread in model.threads:
+        if not thread.daemon:
+            continue
+        if thread.attr == "":
+            message = (
+                "daemon thread started inline and never bound — nothing "
+                "can join or stop it, so it dies mid-work at interpreter exit"
+            )
+        elif thread.attr in model.started_attrs and thread.attr not in model.joined_attrs:
+            message = (
+                f"daemon thread 'self.{thread.attr}' is started but no "
+                "method ever joins it — shutdown is a coin flip on what "
+                "the thread was touching when the process exits"
+            )
+        else:
+            continue
+        findings.append(
+            _finding(
+                "CON004",
+                file,
+                thread.line,
+                f"{model.name}.{thread.method}",
+                message,
+                hint="add a stop() that sets an Event and joins the thread",
+            )
+        )
+    return findings
+
+
+# -- CON005: callbacks under a held lock ---------------------------------------
+
+
+def _con005(model: ClassModel, file: str) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for call in model.callback_calls:
+        findings.append(
+            _finding(
+                "CON005",
+                file,
+                call.line,
+                f"{model.name}.{call.method}",
+                f"{call.target} invoked while holding 'self.{call.lock}' — "
+                "a callback that blocks or re-enters this object deadlocks "
+                "every other thread on the lock",
+                hint="snapshot the callbacks under the lock, invoke them "
+                "after releasing it (or document the no-reentry contract)",
+            )
+        )
+    return findings
+
+
+def analyze_concurrency(file: str, tree: ast.Module) -> list[LintFinding]:
+    """Run every CON rule over one module; findings in source order."""
+    models = build_class_models(tree)
+    findings: list[LintFinding] = []
+    for model in models:
+        findings.extend(_con001(model, file))
+        findings.extend(_con003(model, file))
+        findings.extend(_con004(model, file))
+        findings.extend(_con005(model, file))
+    findings.extend(_con002(models, file))
+    findings.sort(key=lambda f: (f.line, f.code))
+    return findings

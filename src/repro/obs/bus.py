@@ -108,9 +108,12 @@ class EventBus:
                 value=value,
                 attrs=dict(attrs) if attrs else {},
             )
+            # In-order under-lock delivery is the bus's documented
+            # contract (gap-free seq per subscriber); subscribers must be
+            # fast and never publish back.
             for subscriber in self._subscribers:
                 try:
-                    subscriber(event)
+                    subscriber(event)  # physlint: disable=CON005 -- delivery contract
                 except Exception:
                     self.subscriber_errors += 1
         return event
@@ -146,7 +149,11 @@ class EventBus:
             try:
                 closer()
             except Exception:
-                self.subscriber_errors += 1
+                # The error count is lock-guarded: publishers on other
+                # threads may still be inside publish() right up to the
+                # instant they observe _closed.
+                with self._lock:
+                    self.subscriber_errors += 1
 
 
 class JsonlSink:

@@ -115,6 +115,77 @@ class TestCleanTree:
         capsys.readouterr()
 
 
+SELECT_FIXTURE = textwrap.dedent(
+    """\
+    import threading
+
+
+    def scale(num: float, den: float) -> float:
+        return num / den
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0
+
+        def bump(self):
+            with self._lock:
+                self._n += 1
+
+        def reset(self):
+            self._n = 0
+    """
+)
+
+
+class TestSelect:
+    @pytest.fixture
+    def mixed_file(self, tmp_path):
+        path = tmp_path / "mixed.py"
+        path.write_text(SELECT_FIXTURE)
+        return path
+
+    def test_select_con_drops_other_families(self, mixed_file):
+        result = lint_paths([mixed_file], baseline=None, select=["CON"])
+        assert sorted({f.code for f in result.findings}) == ["CON001"]
+
+    def test_no_select_keeps_everything(self, mixed_file):
+        result = lint_paths([mixed_file], baseline=None)
+        codes = {f.code for f in result.findings}
+        assert {"NUM002", "CON001"} <= codes
+
+    def test_exact_code_select(self, mixed_file):
+        result = lint_paths([mixed_file], baseline=None, select=["NUM002"])
+        assert sorted({f.code for f in result.findings}) == ["NUM002"]
+
+    def test_parse_errors_survive_select(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        result = lint_paths([path], baseline=None, select=["CON"])
+        assert [f.code for f in result.findings] == ["LNT001"]
+
+    def test_cli_select_flag(self, mixed_file, capsys):
+        code = main(["lint-src", str(mixed_file), "--no-baseline", "--select", "CON"])
+        out = capsys.readouterr().out
+        assert code == 2  # CON001 is an error
+        assert "CON001" in out
+        assert "NUM002" not in out
+
+    def test_cli_select_empty_errors(self, mixed_file, capsys):
+        code = main(["lint-src", str(mixed_file), "--select", ",,"])
+        assert code != 0
+        capsys.readouterr()
+
+    def test_shipped_tree_is_con_clean_without_baseline(self):
+        # Tentpole acceptance: `repro-emi lint-src --select CON` over
+        # src/ needs no baseline at all — the one deliberate under-lock
+        # delivery in EventBus.publish is inline-suppressed.
+        result = lint_paths([default_target()], baseline=None, select=["CON"])
+        offenders = [f"{f.file}:{f.line} {f.code}" for f in result.findings]
+        assert offenders == []
+
+
 class TestEngine:
     def test_write_baseline_then_clean(self, fixture_file, tmp_path, capsys):
         baseline_path = tmp_path / "baseline.json"
@@ -163,6 +234,11 @@ class TestEngine:
             "NUM005",
             "API001",
             "API002",
+            "CON001",
+            "CON002",
+            "CON003",
+            "CON004",
+            "CON005",
             "LNT001",
         } == set(codes)
 

@@ -1,0 +1,546 @@
+"""One deliberately broken fixture per CON rule code, plus clean twins.
+
+The fixtures mirror the real shapes in ``src/repro/obs`` — the whole
+point of conlint is that these patterns were extracted from that code.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def run(source: str, label: str = "mod.py"):
+    findings, _ = lint_sources({label: textwrap.dedent(source)})
+    return findings
+
+
+def codes_at(findings, code: str) -> list[int]:
+    return [f.line for f in findings if f.code == code]
+
+
+class TestCon001WriteOutsideLock:
+    def test_unguarded_write_is_flagged(self):
+        findings = run(
+            """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def reset(self):
+                    self._n = 0
+            """
+        )
+        assert codes_at(findings, "CON001") == [13]
+
+    def test_constructor_writes_are_exempt(self):
+        findings = run(
+            """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+            """
+        )
+        assert codes_at(findings, "CON001") == []
+
+    def test_mutator_call_outside_lock_is_a_write(self):
+        findings = run(
+            """\
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+
+                def push(self, event):
+                    with self._lock:
+                        self._events.append(event)
+
+                def push_fast(self, event):
+                    self._events.append(event)
+            """
+        )
+        assert codes_at(findings, "CON001") == [13]
+
+    def test_reads_outside_lock_are_not_flagged(self):
+        # Lock-free reads of published-once state are a documented
+        # pattern here; only writes race destructively.
+        findings = run(
+            """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    return self._n
+            """
+        )
+        assert codes_at(findings, "CON001") == []
+
+    def test_class_without_locks_is_exempt(self):
+        findings = run(
+            """\
+            class Plain:
+                def __init__(self):
+                    self._n = 0
+
+                def bump(self):
+                    self._n += 1
+            """
+        )
+        assert codes_at(findings, "CON001") == []
+
+    def test_disagreeing_guards_do_not_flag(self):
+        # Locked writes under different locks: no single guard can be
+        # inferred, so CON001 stays quiet (CON002 owns ordering).
+        findings = run(
+            """\
+            import threading
+
+            class Torn:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._n = 0
+
+                def via_a(self):
+                    with self._a:
+                        self._n += 1
+
+                def via_b(self):
+                    with self._b:
+                        self._n += 1
+
+                def bare(self):
+                    self._n = 0
+            """
+        )
+        assert codes_at(findings, "CON001") == []
+
+
+class TestCon002LockOrder:
+    def test_both_orders_deadlock(self):
+        # The acceptance fixture: a deliberate lock-order inversion the
+        # static pass must flag (the runtime sanitizer flags the same
+        # shape in tests/test_lint_sanitizer.py).
+        findings = run(
+            """\
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """
+        )
+        assert codes_at(findings, "CON002") == [10, 15]
+
+    def test_consistent_order_is_clean(self):
+        findings = run(
+            """\
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        )
+        assert codes_at(findings, "CON002") == []
+
+    def test_transitive_cycle(self):
+        # a -> b and b -> c established, then c -> a closes the cycle.
+        findings = run(
+            """\
+            import threading
+
+            class ThreeLocks:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._c = threading.Lock()
+
+                def ab(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def bc(self):
+                    with self._b:
+                        with self._c:
+                            pass
+
+                def ca(self):
+                    with self._c:
+                        with self._a:
+                            pass
+            """
+        )
+        assert len(codes_at(findings, "CON002")) >= 1
+
+    def test_nested_plain_lock_self_deadlock(self):
+        findings = run(
+            """\
+            import threading
+
+            class Recursive:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert codes_at(findings, "CON002") == [9]
+
+    def test_nested_rlock_is_clean(self):
+        findings = run(
+            """\
+            import threading
+
+            class Recursive:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def work(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert codes_at(findings, "CON002") == []
+
+    def test_same_attr_name_in_two_classes_is_not_a_cycle(self):
+        # Class A takes _x then _y; class B takes _y then _x — but they
+        # are different locks, so there is no shared cycle.
+        findings = run(
+            """\
+            import threading
+
+            class First:
+                def __init__(self):
+                    self._x = threading.Lock()
+                    self._y = threading.Lock()
+
+                def go(self):
+                    with self._x:
+                        with self._y:
+                            pass
+
+            class Second:
+                def __init__(self):
+                    self._x = threading.Lock()
+                    self._y = threading.Lock()
+
+                def go(self):
+                    with self._y:
+                        with self._x:
+                            pass
+            """
+        )
+        assert codes_at(findings, "CON002") == []
+
+
+class TestCon003PoolCaptures:
+    def test_lock_into_submit(self):
+        findings = run(
+            """\
+            import threading
+
+            class Shipper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def run(self, pool, work):
+                    pool.submit(work, self._lock)
+            """
+        )
+        assert codes_at(findings, "CON003") == [8]
+
+    def test_handle_into_initargs(self):
+        findings = run(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Logger:
+                def __init__(self, path):
+                    self._handle = open(path, "a")
+
+                def pool(self, init):
+                    return ProcessPoolExecutor(
+                        max_workers=2,
+                        initializer=init,
+                        initargs=(self._handle,),
+                    )
+            """
+        )
+        assert codes_at(findings, "CON003") == [11]
+
+    def test_self_with_lock_into_thread_target(self):
+        findings = run(
+            """\
+            import threading
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def spawn(self, pool, work):
+                    pool.submit(work, self)
+            """
+        )
+        assert codes_at(findings, "CON003") == [8]
+
+    def test_self_without_lock_or_handle_is_clean(self):
+        findings = run(
+            """\
+            class Plain:
+                def spawn(self, pool, work):
+                    pool.submit(work, self)
+            """
+        )
+        assert codes_at(findings, "CON003") == []
+
+    def test_lambda_capturing_self_with_lock(self):
+        findings = run(
+            """\
+            import threading
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def spawn(self, pool):
+                    pool.submit(lambda: self.work())
+            """
+        )
+        assert codes_at(findings, "CON003") == [8]
+
+
+class TestCon004DaemonThreads:
+    def test_started_never_joined(self):
+        findings = run(
+            """\
+            import threading
+
+            class Sampler:
+                def start(self):
+                    self._thread = threading.Thread(target=self.run, daemon=True)
+                    self._thread.start()
+            """
+        )
+        assert codes_at(findings, "CON004") == [5]
+
+    def test_join_path_is_clean(self):
+        # The ResourceSampler shape: stop() hands the attribute off to a
+        # local and joins it.
+        findings = run(
+            """\
+            import threading
+
+            class Sampler:
+                def start(self):
+                    self._thread = threading.Thread(target=self.run, daemon=True)
+                    self._thread.start()
+
+                def stop(self):
+                    thread, self._thread = self._thread, None
+                    if thread is not None:
+                        thread.join()
+            """
+        )
+        assert codes_at(findings, "CON004") == []
+
+    def test_inline_daemon_thread_is_always_flagged(self):
+        findings = run(
+            """\
+            import threading
+
+            class FireAndForget:
+                def poke(self, work):
+                    threading.Thread(target=work, daemon=True).start()
+            """
+        )
+        assert codes_at(findings, "CON004") == [5]
+
+    def test_non_daemon_thread_is_clean(self):
+        findings = run(
+            """\
+            import threading
+
+            class Worker:
+                def start(self):
+                    self._thread = threading.Thread(target=self.run)
+                    self._thread.start()
+            """
+        )
+        assert codes_at(findings, "CON004") == []
+
+
+class TestCon005CallbackUnderLock:
+    def test_loop_over_subscribers_under_lock(self):
+        findings = run(
+            """\
+            import threading
+
+            class Bus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+
+                def publish(self, event):
+                    with self._lock:
+                        for sub in self._subs:
+                            sub(event)
+            """
+        )
+        assert codes_at(findings, "CON005") == [11]
+
+    def test_snapshot_iteration_under_lock(self):
+        findings = run(
+            """\
+            import threading
+
+            class Bus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+
+                def publish(self, event):
+                    with self._lock:
+                        for sub in list(self._subs):
+                            sub(event)
+            """
+        )
+        assert codes_at(findings, "CON005") == [11]
+
+    def test_subscript_callback_under_lock(self):
+        findings = run(
+            """\
+            import threading
+
+            class Bus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+
+                def first(self, event):
+                    with self._lock:
+                        self._subs[0](event)
+            """
+        )
+        assert codes_at(findings, "CON005") == [10]
+
+    def test_snapshot_then_call_outside_lock_is_clean(self):
+        findings = run(
+            """\
+            import threading
+
+            class Bus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+
+                def publish(self, event):
+                    with self._lock:
+                        subs = list(self._subs)
+                    for sub in subs:
+                        sub(event)
+            """
+        )
+        assert codes_at(findings, "CON005") == []
+
+    def test_inline_suppression(self):
+        findings = run(
+            """\
+            import threading
+
+            class Bus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+
+                def publish(self, event):
+                    with self._lock:
+                        for sub in self._subs:
+                            sub(event)  # physlint: disable=CON005
+            """
+        )
+        assert codes_at(findings, "CON005") == []
+
+
+class TestRealShapesStayClean:
+    def test_event_bus_like_class_with_discipline(self):
+        # EventBus distilled: everything under one lock, snapshot for
+        # close, join path for nothing (no threads).  Only the
+        # deliberate under-lock delivery shows up.
+        findings = run(
+            """\
+            import threading
+
+            class MiniBus:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._subs = []
+                    self._closed = False
+                    self.errors = 0
+
+                def subscribe(self, sub):
+                    with self._lock:
+                        self._subs.append(sub)
+
+                def close(self):
+                    with self._lock:
+                        if self._closed:
+                            return
+                        self._closed = True
+                        subs = list(self._subs)
+                    return subs
+            """
+        )
+        assert [f.code for f in findings if f.code.startswith("CON")] == []

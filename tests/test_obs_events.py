@@ -184,6 +184,38 @@ class TestEventBus:
         # Delivery runs under the bus lock: in-order, gap-free from 1.
         assert seen == list(range(1, 801))
 
+    def test_error_count_exact_under_concurrent_close(self):
+        # Regression for the race conlint's CON001 surfaced: close()
+        # incremented subscriber_errors without the bus lock while
+        # publishers incremented it under the lock, so increments could
+        # be lost.  Both paths are lock-guarded now; the count must be
+        # exact: one per delivered publish (the subscriber raises every
+        # time) plus one for the raising closer.
+        bus = EventBus()
+
+        class RaisingSub:
+            def __call__(self, event):
+                raise RuntimeError("deliver boom")
+
+            def close(self):
+                raise RuntimeError("close boom")
+
+        bus.subscribe(RaisingSub())
+        delivered = []
+
+        def pump():
+            for _ in range(100):
+                if bus.publish("log", "m") is not None:
+                    delivered.append(1)
+
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        bus.close()
+        for t in threads:
+            t.join()
+        assert bus.subscriber_errors == len(delivered) + 1
+
 
 class TestJsonlSink:
     def test_writes_valid_lines_and_flushes(self, tmp_path):
