@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ruff mypy physlint physlint-baseline conlint race-check bench-smoke events-smoke perf-baseline perf-check
+.PHONY: test lint ruff mypy physlint physlint-baseline conlint perflint hotness-baseline race-check bench-smoke events-smoke perf-baseline perf-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,8 +35,8 @@ perf-check:
 		--fail-on regression --wall-threshold 4.0
 
 ## Full static gate: style (ruff) + types (mypy) + physics lint (physlint)
-## + concurrency lint (conlint).
-lint: ruff mypy physlint conlint
+## + concurrency lint (conlint) + performance/architecture lint (perflint).
+lint: ruff mypy physlint conlint perflint
 
 ruff:
 	ruff check src/ tests/ examples/ benchmarks/
@@ -56,6 +56,21 @@ physlint-baseline:
 ## conlint-clean modulo inline waivers, and stays that way.
 conlint:
 	$(PYTHON) -m repro.cli lint-src src/repro --select CON --no-baseline
+
+## Performance + architecture rules alone (docs/PERFLINT.md).  The
+## baseline is zero-entry by design: ARCH findings and hot-path PRF
+## findings (promoted to error by the committed hotness snapshot) must
+## be fixed, not accumulated; cold PRF findings are informational.
+perflint:
+	$(PYTHON) -m repro.cli lint-src src/repro --select PRF,ARCH \
+		--baseline src/repro/lint/perflint_baseline.json \
+		--hotness benchmarks/baselines/HOTNESS.json
+
+## Refresh the committed hotness snapshot from the perf-history store.
+hotness-baseline:
+	$(PYTHON) -m repro.cli perf hotness \
+		--store benchmarks/out/perf-history.jsonl \
+		-o benchmarks/baselines/HOTNESS.json
 
 ## The threaded suites with every threading.Lock/RLock instrumented by
 ## the runtime lock sanitizer (repro.lint.sanitizer): lock-order

@@ -7,6 +7,8 @@ ranges.  All values are SI.
 
 from __future__ import annotations
 
+from ..coupling.database import COUPLING_CLAMP_TOLERANCE
+
 __all__ = [
     "ELEMENT_VALUE_RANGES",
     "NEAR_UNITY_K",
@@ -30,10 +32,10 @@ ELEMENT_VALUE_RANGES: dict[str, tuple[float, float]] = {
 #: |k| at or above this (but still <= 1) trips CPL005 (near-unity coupling).
 NEAR_UNITY_K = 0.98
 
-#: Numerical overshoot of |k| beyond 1.0 that the coupling database clamps
-#: back to +-1 instead of rejecting (quadrature error on nearly coincident
-#: paths); anything larger raises.
-COUPLING_CLAMP_TOLERANCE = 0.02
+#: COUPLING_CLAMP_TOLERANCE is defined in :mod:`repro.coupling.database`
+#: (the layer that owns the clamp) and re-exported above so rule code
+#: keeps one import site; check sits above coupling, so the import runs
+#: downward (ARCH002-clean).
 
 #: An inductance-matrix eigenvalue below ``-tol * max_diagonal`` makes the
 #: matrix count as indefinite (CPL004).

@@ -48,6 +48,10 @@ def pwl_fourier_coefficient(
     v = np.asarray(values, dtype=float)
     if t.shape != v.shape or t.ndim != 1 or len(t) < 2:
         raise ValueError("times/values must be matching 1-D arrays with >= 2 points")
+    if period <= 0.0:
+        raise ValueError("period must be positive")
+    if harmonic < 0:
+        raise ValueError("harmonic must be >= 0")
     if abs(t[0]) > 1e-15 or abs(t[-1] - period) > 1e-12 * max(1.0, period):
         raise ValueError("breakpoints must span exactly [0, period]")
     if np.any(np.diff(t) < 0.0):
@@ -61,6 +65,7 @@ def pwl_fourier_coefficient(
         return complex(total / period)
 
     w = 2.0 * math.pi * harmonic / period
+    assert w > 0.0, "harmonic >= 1 past the DC branch and period is positive"
     total_c = 0.0 + 0.0j
     for i in range(len(t) - 1):
         t1, t2 = t[i], t[i + 1]
@@ -135,6 +140,7 @@ class TrapezoidSource:
     @property
     def period(self) -> float:
         """Switching period [s]."""
+        assert self.switching_frequency > 0.0, "validated in __post_init__"
         return 1.0 / self.switching_frequency
 
     def value_at(self, t: float) -> float:
@@ -157,6 +163,7 @@ class TrapezoidSource:
 
     def harmonic_frequencies(self, f_max: float) -> np.ndarray:
         """All harmonic frequencies up to ``f_max`` (inclusive)."""
+        assert self.switching_frequency > 0.0, "validated in __post_init__"
         n_max = int(f_max / self.switching_frequency)
         return self.switching_frequency * np.arange(1, n_max + 1, dtype=float)
 
@@ -169,6 +176,7 @@ class TrapezoidSource:
         f0 = self.switching_frequency
 
         def spectrum(freq: float) -> complex:
+            assert f0 > 0.0, "switching frequency validated in __post_init__"
             n = int(round(freq / f0))
             if n < 1 or abs(freq - n * f0) > 1e-6 * f0:
                 return 0.0 + 0.0j

@@ -134,9 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report rendering (default: text)",
+        help="report rendering (default: text; sarif emits a SARIF 2.1.0 "
+        "document for GitHub code scanning)",
     )
     p_lint.add_argument(
         "--fail-on",
@@ -171,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the surfaced findings as a new baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--hotness",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="hotness snapshot JSON (make hotness-baseline); PRF findings "
+        "on its recorded hot paths are promoted to error",
     )
 
     p_place = sub.add_parser(
@@ -392,6 +401,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write here instead of stdout",
     )
 
+    pp_hotness = perf_sub.add_parser(
+        "hotness",
+        help="aggregate the perf-history store into a hotness snapshot "
+        "(profile-guided severity for lint-src --hotness)",
+        parents=[store_flags],
+    )
+    pp_hotness.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="SHARE",
+        help="minimum share of total root wall time that makes a span hot "
+        "(default: 0.05)",
+    )
+    pp_hotness.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the snapshot JSON here instead of stdout",
+    )
+
     pp_flight = perf_sub.add_parser(
         "flight",
         help="render one run as a self-contained HTML flight recorder",
@@ -474,8 +506,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_lint_src(args: argparse.Namespace) -> int:
     from .check import Severity
-    from .lint import DEFAULT_BASELINE_PATH, Baseline, lint_paths
+    from .lint import DEFAULT_BASELINE_PATH, Baseline, HotnessModel, lint_paths
 
+    hotness = None
+    if args.hotness is not None:
+        try:
+            hotness = HotnessModel.load(args.hotness)
+        except OSError as exc:
+            print(f"lint-src: cannot read {args.hotness}: {exc}", file=sys.stderr)
+            return int(Severity.ERROR)
+        except ValueError as exc:
+            print(f"lint-src: {exc}", file=sys.stderr)
+            return int(Severity.ERROR)
     baseline = None
     if not args.no_baseline:
         baseline_path = args.baseline
@@ -498,7 +540,10 @@ def _cmd_lint_src(args: argparse.Namespace) -> int:
             return int(Severity.ERROR)
     try:
         result = lint_paths(
-            paths=list(args.paths) or None, baseline=baseline, select=select
+            paths=list(args.paths) or None,
+            baseline=baseline,
+            select=select,
+            hotness=hotness,
         )
     except FileNotFoundError as exc:
         print(f"lint-src: {exc}", file=sys.stderr)
@@ -510,7 +555,14 @@ def _cmd_lint_src(args: argparse.Namespace) -> int:
             f"({len(result.findings)} finding(s) baselined)"
         )
         return 0
-    if args.format == "json":
+    if args.format == "sarif":
+        import json
+
+        from . import __version__
+        from .lint import findings_to_sarif
+
+        print(json.dumps(findings_to_sarif(result.findings, __version__), indent=2))
+    elif args.format == "json":
         document = result.report.to_dict()
         document["files"] = result.files
         document["suppressed"] = result.suppressed
@@ -973,6 +1025,32 @@ def _cmd_perf_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_hotness(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint.hotness import DEFAULT_HOT_SHARE, HotnessModel
+    from .obs import PerfHistory
+
+    history = PerfHistory(args.store)
+    threshold = args.threshold if args.threshold is not None else DEFAULT_HOT_SHARE
+    model = HotnessModel.from_history(history.path, threshold=threshold)
+    if not model.shares:
+        print(f"no usable records in {history.path}", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        model.save(args.output)
+        hot = model.hot_spans
+        print(
+            f"wrote {args.output}: {len(model.shares)} span(s), "
+            f"{len(hot)} hot at threshold {threshold:g}"
+        )
+        for name in hot:
+            print(f"  hot {model.shares[name]:6.1%}  {name}")
+    else:
+        print(json.dumps(model.to_dict(), indent=2))
+    return 0
+
+
 _PERF_COMMANDS = {
     "record": _cmd_perf_record,
     "history": _cmd_perf_history,
@@ -980,6 +1058,7 @@ _PERF_COMMANDS = {
     "check": _cmd_perf_check,
     "export": _cmd_perf_export,
     "flight": _cmd_perf_flight,
+    "hotness": _cmd_perf_hotness,
 }
 
 

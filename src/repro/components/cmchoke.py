@@ -63,6 +63,8 @@ class CommonModeChoke(Component):
             raise ValueError(f"{self.part_number}: coverage must be in [0.1, 1]")
         if self.rings_per_winding < 2:
             raise ValueError(f"{self.part_number}: need >= 2 rings per winding")
+        if self.wire_diameter <= 0.0:
+            raise ValueError(f"{self.part_number}: wire_diameter must be positive")
         # Closed toroid core: small demagnetising factor, most flux confined,
         # stray coupling is carried by the winding-gap leakage that the ring
         # geometry itself produces.
@@ -81,6 +83,7 @@ class CommonModeChoke(Component):
 
     def winding_center_angle(self, index: int) -> float:
         """Angular position of a winding's centre on the toroid [rad]."""
+        assert self.n_windings > 0, "__post_init__ allows only 2 or 3 windings"
         return 2.0 * math.pi * index / self.n_windings
 
     def winding_path(self, index: int) -> CurrentPath:
@@ -98,6 +101,7 @@ class CommonModeChoke(Component):
             raise IndexError(f"winding {index} of {self.n_windings}")
         from dataclasses import replace
 
+        assert self.rings_per_winding >= 2, "validated in __post_init__"
         weight = self.turns_per_winding / self.rings_per_winding
         z0 = self.body_height / 2.0
         arc = 2.0 * math.pi / self.n_windings * self.coverage
@@ -165,14 +169,17 @@ class CommonModeChoke(Component):
         """Common-mode inductance per current path [H]."""
         if self.rated_inductance is not None:
             return self.rated_inductance
+        assert self.n_windings > 0, "__post_init__ allows only 2 or 3 windings"
         return self.self_inductance / self.n_windings
 
     @property
     def esr(self) -> float:
         """Winding resistance per path [ohm]."""
         rho_cu = 1.72e-8
+        assert self.n_windings > 0, "__post_init__ allows only 2 or 3 windings"
         length_per_winding = self.current_path.total_length() / self.n_windings
         area = math.pi * (self.wire_diameter / 2.0) ** 2
+        assert area > 0.0, "wire_diameter validated positive in __post_init__"
         return rho_cu * length_per_winding / area
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 import math
 from dataclasses import asdict, dataclass, field, replace
 
-from ..check.limits import COUPLING_CLAMP_TOLERANCE
 from ..components import Component
 from ..geometry import Placement2D
 from ..obs import get_tracer
@@ -44,7 +43,14 @@ from .pair import (
     evaluate_coupling_task,
 )
 
-__all__ = ["CacheStats", "CouplingDatabase"]
+__all__ = ["CacheStats", "CouplingDatabase", "COUPLING_CLAMP_TOLERANCE"]
+
+#: Numerical overshoot of |k| beyond 1.0 that the database clamps back to
+#: +-1 instead of rejecting (quadrature error on nearly coincident
+#: paths); anything larger raises.  Lives here (not in repro.check) so
+#: the clamp and the CPL001 rule that audits it share one number without
+#: the coupling layer importing the check layer above it (ARCH002).
+COUPLING_CLAMP_TOLERANCE = 0.02
 
 
 def _validated(

@@ -27,7 +27,7 @@ from ..obs import get_tracer
 from ..parallel import CouplingExecutor
 from ..units import Degrees, Meters
 from .database import CouplingDatabase
-from .pair import CouplingTask, evaluate_coupling_task
+from .pair import CouplingResult, CouplingTask, evaluate_coupling_task
 
 __all__ = ["distance_sweep", "rotation_sweep", "angular_position_sweep"]
 
@@ -104,16 +104,14 @@ def _signed_couplings(
     else:
         order = _SWEEP_ORDER
 
-    results: list[object | None] = [None] * len(placements_b)
-    pending: list[int] = []
     if database is not None:
-        for i, place_b in enumerate(placements_b):
-            cached = database.peek(comp_a, place_a, comp_b, place_b)
-            if cached is not None:
-                results[i] = cached
-            else:
-                pending.append(i)
+        results: list[CouplingResult | None] = [
+            database.peek(comp_a, place_a, comp_b, place_b)
+            for place_b in placements_b
+        ]
+        pending = [i for i, hit in enumerate(results) if hit is None]
     else:
+        results = [None] * len(placements_b)
         pending = list(range(len(placements_b)))
 
     if pending:
@@ -129,10 +127,12 @@ def _signed_couplings(
             with tracer.span("coupling.field_solve"):
                 computed = executor.map(evaluate_coupling_task, tasks)
         else:
-            computed = []
-            for task in tasks:
+
+            def _solve(task: CouplingTask) -> CouplingResult:
                 with tracer.span("coupling.field_solve"):
-                    computed.append(evaluate_coupling_task(task))
+                    return evaluate_coupling_task(task)
+
+            computed = [_solve(task) for task in tasks]
         for i, result in zip(pending, computed, strict=True):
             if database is not None:
                 result = database.store(

@@ -22,6 +22,8 @@ __all__ = ["Polygon2D", "convex_hull"]
 def _signed_area(points: Sequence[Vec2]) -> float:
     total = 0.0
     n = len(points)
+    if n == 0:
+        return 0.0
     for i in range(n):
         a = points[i]
         b = points[(i + 1) % n]
@@ -103,6 +105,7 @@ class Polygon2D:
     def perimeter(self) -> float:
         """Total boundary length."""
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         return sum(
             self.vertices[i].distance_to(self.vertices[(i + 1) % n]) for i in range(n)
         )
@@ -137,6 +140,7 @@ class Polygon2D:
     def contains_point(self, p: Vec2, tol: float = EPS) -> bool:
         """Point-in-polygon test; boundary points count as inside."""
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         inside = False
         for i in range(n):
             a = self.vertices[i]
@@ -149,10 +153,14 @@ class Polygon2D:
                 t = ap.dot(ab)
                 if -tol <= t <= ab.norm_sq() + tol:
                     return True
-            # Ray casting (horizontal ray towards +x).
+            # Ray casting (horizontal ray towards +x), division-free: the
+            # crossing test 'x_int > p.x' is the sign of the edge/ray cross
+            # product, oriented by the edge's y direction (dy != 0 inside
+            # this branch by construction).
             if (a.y > p.y) != (b.y > p.y):
-                x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
-                if x_int > p.x:
+                dy = b.y - a.y
+                crossing = (p.y - a.y) * (b.x - a.x) - (p.x - a.x) * dy
+                if (crossing > 0.0) if (dy > 0.0) else (crossing < 0.0):
                     inside = not inside
         return inside
 
@@ -172,6 +180,7 @@ class Polygon2D:
             (corners[3], corners[0]),
         ]
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         for i in range(n):
             a = self.vertices[i]
             b = self.vertices[(i + 1) % n]
@@ -199,6 +208,7 @@ class Polygon2D:
             (corners[3], corners[0]),
         ]
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         return any(
             _segments_properly_intersect(
                 self.vertices[i], self.vertices[(i + 1) % n], p, q
@@ -220,6 +230,7 @@ class Polygon2D:
         if margin <= 0.0:
             return Polygon2D(list(self.vertices))
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         shifted: list[tuple[Vec2, Vec2]] = []
         for i in range(n):
             a = self.vertices[i]
@@ -230,10 +241,10 @@ class Polygon2D:
             # CCW polygon: the inward normal is the edge direction rotated -90 deg.
             normal = Vec2(edge.y, -edge.x).normalized() * -1.0
             shifted.append((a + normal * margin, b + normal * margin))
-        if len(shifted) < 3:
+        m = len(shifted)
+        if m < 3:
             return None
         out: list[Vec2] = []
-        m = len(shifted)
         for i in range(m):
             p1, p2 = shifted[i]
             q1, q2 = shifted[(i + 1) % m]
@@ -261,6 +272,7 @@ class Polygon2D:
         """Distance from a point to the polygon's boundary (0 on it)."""
         best = math.inf
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         for i in range(n):
             a = self.vertices[i]
             b = self.vertices[(i + 1) % n]
@@ -279,11 +291,13 @@ class Polygon2D:
             raise ValueError("spacing must be positive")
         samples: list[Vec2] = []
         n = len(self.vertices)
+        assert n >= 3, "__post_init__ guarantees at least 3 vertices"
         for i in range(n):
             a = self.vertices[i]
             b = self.vertices[(i + 1) % n]
             length = a.distance_to(b)
             steps = max(1, int(math.ceil(length / spacing)))
+            assert steps >= 1, "max(1, ...) keeps the step count positive"
             for s in range(steps):
                 t = s / steps
                 samples.append(Vec2(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)))
@@ -333,7 +347,7 @@ def _line_intersection(p1: Vec2, p2: Vec2, q1: Vec2, q2: Vec2) -> Vec2 | None:
     d1 = p2 - p1
     d2 = q2 - q1
     denom = d1.cross(d2)
-    if abs(denom) < EPS:
+    if -EPS < denom < EPS:
         return None
     t = (q1 - p1).cross(d2) / denom
     return p1 + d1 * t

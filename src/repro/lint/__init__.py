@@ -20,7 +20,17 @@ them*: a custom AST analyzer with two rule families —
   into process pools, join-less daemon threads and callbacks invoked
   under a lock are flagged (``docs/CONLINT.md``).  The static pass is
   paired with a runtime lock sanitizer
-  (:mod:`repro.lint.sanitizer`, ``make race-check``).
+  (:mod:`repro.lint.sanitizer`, ``make race-check``);
+* **performance — "perflint"** (PRF001–PRF005): Python loops over numpy
+  arrays in kernel modules, loop-invariant allocations, repeated dotted
+  lookups in loops, all-pairs nested scans, heavyweight pool captures.
+  Findings default to ``info``; the profile-guided hotness model
+  (:mod:`repro.lint.hotness`, fed by the PerfHistory span store)
+  promotes hot-path findings to ``error`` (``docs/PERFLINT.md``);
+* **architecture** (ARCH001–ARCH003): the project import graph
+  (:mod:`repro.lint.imports`) is checked against the layer table in
+  :mod:`repro.lint.rules_arch` — import cycles, lower layers importing
+  upper ones, anything importing ``repro.cli``.
 
 Entry points:
 
@@ -39,8 +49,12 @@ line or per file) or via the checked-in baseline
 from .base import LintFinding
 from .baseline import DEFAULT_BASELINE_PATH, Baseline
 from .engine import LintResult, default_target, lint_paths, lint_sources
+from .hotness import HotnessModel
+from .imports import ImportGraph, build_import_graph
 from .registry import lint_rule_specs, lint_spec_for
+from .rules_arch import ARCH_LAYERS, analyze_architecture
 from .sanitizer import LockSanitizer, SanitizerFinding, sanitized
+from .sarif import findings_to_sarif
 from .suppress import Suppressions, scan_suppressions
 from .threads import ClassModel, build_class_models
 
@@ -61,4 +75,10 @@ __all__ = [
     "LockSanitizer",
     "SanitizerFinding",
     "sanitized",
+    "HotnessModel",
+    "ImportGraph",
+    "build_import_graph",
+    "ARCH_LAYERS",
+    "analyze_architecture",
+    "findings_to_sarif",
 ]

@@ -1,0 +1,298 @@
+"""The project import graph — the data layer of the ARCH rules.
+
+Built once per analyzer run from the already-parsed module ASTs, keyed by
+the same relative file labels the rest of physlint uses
+(``repro/coupling/sweep.py``).  Each import statement is resolved to the
+dotted project module it targets (absolute and relative forms alike) and
+recorded as an :class:`ImportEdge` carrying its source line and whether
+it executes at import time (module level) or lazily (inside a function).
+
+Two modelling decisions keep the graph honest:
+
+* **``TYPE_CHECKING`` blocks are skipped.**  ``if TYPE_CHECKING:``
+  imports never execute, so they can neither create an import cycle nor
+  couple layers at runtime — counting them would flag the exact idiom
+  used to *break* cycles.
+* **Cross-package imports also depend on the target's package
+  ``__init__``.**  Importing ``repro.check.limits`` executes
+  ``repro/check/__init__.py`` first, so the edge to the package
+  initializer is real and participates in cycles.  Intra-package sibling
+  imports do *not* get that edge — a package initializer importing its
+  own submodules would otherwise make every package look cyclic.
+
+:func:`build_import_graph` returns an :class:`ImportGraph` whose
+:meth:`ImportGraph.cycles` enumerates the strongly-connected components
+of the import-time subgraph (the cycles ARCH001 reports).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+__all__ = ["ImportEdge", "ModuleNode", "ImportGraph", "build_import_graph", "module_name_for"]
+
+
+def module_name_for(label: str) -> str:
+    """Dotted module name of a file label (``repro/peec/mesh.py`` ->
+    ``repro.peec.mesh``; package initializers drop the ``__init__``)."""
+    parts = list(PurePosixPath(label).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved project-internal import.
+
+    Attributes:
+        target: dotted module name imported (``repro.check.limits``).
+        line: 1-based source line of the import statement.
+        import_time: True for module-level imports (they execute when the
+            importer is first loaded); False for imports inside a
+            function or method body (lazy).
+    """
+
+    target: str
+    line: int
+    import_time: bool
+
+
+@dataclass
+class ModuleNode:
+    """One analyzed module and its outgoing project-internal imports."""
+
+    label: str
+    name: str
+    package: str
+    edges: list[ImportEdge] = field(default_factory=list)
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Walks one module, resolving project imports; skips TYPE_CHECKING."""
+
+    def __init__(self, module_parts: tuple[str, ...], root: str, is_package: bool) -> None:
+        self.module_parts = module_parts
+        self.root = root
+        self.is_package = is_package
+        self.depth = 0  # function nesting; >0 means lazy import
+        self.edges: list[ImportEdge] = []
+
+    # -- scope / pruning -----------------------------------------------------
+
+    def _visit_body(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self.depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_body(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_body(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking(node.test):
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    # -- the import statements ----------------------------------------------
+
+    def _record(self, target: str, line: int) -> None:
+        if target == ".".join(self.module_parts):
+            return  # a module does not import itself
+        self.edges.append(
+            ImportEdge(target=target, line=line, import_time=self.depth == 0)
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == self.root or alias.name.startswith(self.root + "."):
+                self._record(alias.name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            base = node.module or ""
+            if not (base == self.root or base.startswith(self.root + ".")):
+                return
+        else:
+            # Relative: level 1 is the containing package (for a plain
+            # module, its parent; for a package __init__, itself).
+            package = list(
+                self.module_parts if self.is_package else self.module_parts[:-1]
+            )
+            up = node.level - 1
+            if up > len(package):
+                return  # beyond the project root; not resolvable
+            package = package[: len(package) - up] if up else package
+            if not package:
+                return
+            base = ".".join(package + ((node.module or "").split(".") if node.module else []))
+        # ``from pkg import name`` may pull a submodule: record the more
+        # precise target per alias, falling back to the package itself.
+        for alias in node.names:
+            if alias.name == "*":
+                self._record(base, node.lineno)
+            else:
+                self._record(f"{base}.{alias.name}", node.lineno)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class ImportGraph:
+    """Modules and resolved project-internal import edges.
+
+    Attributes:
+        nodes: file label -> :class:`ModuleNode`.
+        by_name: dotted module name -> file label.
+    """
+
+    def __init__(self, nodes: dict[str, ModuleNode]) -> None:
+        self.nodes = nodes
+        self.by_name: dict[str, str] = {node.name: label for label, node in nodes.items()}
+
+    def resolve(self, target: str) -> str | None:
+        """Label of the analyzed module a dotted target lands in.
+
+        ``repro.check.limits`` resolves to ``repro/check/limits.py``;
+        ``from pkg import name`` targets fall back through their parents
+        (``repro.check.limits.CONST`` -> ``repro.check.limits`` ->
+        ``repro.check``).  Unresolvable targets (stdlib, third-party,
+        modules outside the analyzed set) return None.
+        """
+        parts = target.split(".")
+        while parts:
+            label = self.by_name.get(".".join(parts))
+            if label is not None:
+                return label
+            parts.pop()
+        return None
+
+    def import_time_adjacency(self) -> dict[str, set[str]]:
+        """Label -> labels imported at module load, package inits included.
+
+        A cross-package edge adds the target package's ``__init__`` as
+        well (Python executes it first); sibling imports within one
+        package do not (see module docstring).
+        """
+        adjacency: dict[str, set[str]] = {label: set() for label in self.nodes}
+        for label, node in self.nodes.items():
+            for edge in node.edges:
+                if not edge.import_time:
+                    continue
+                resolved = self.resolve(edge.target)
+                if resolved is None or resolved == label:
+                    continue
+                adjacency[label].add(resolved)
+                resolved_node = self.nodes[resolved]
+                if resolved_node.package != node.package:
+                    package_init = self._package_init_label(resolved)
+                    if package_init is not None and package_init != label:
+                        adjacency[label].add(package_init)
+        return adjacency
+
+    def _package_init_label(self, label: str) -> str | None:
+        node = self.nodes[label]
+        if not node.package:
+            return None
+        root = node.name.split(".")[0]
+        return self.by_name.get(f"{root}.{node.package}")
+
+    def cycles(self) -> list[list[str]]:
+        """Import-time cycles: non-trivial SCCs, members sorted, smallest first.
+
+        Iterative Tarjan over :meth:`import_time_adjacency`; a component
+        counts as a cycle when it has more than one member or a self-loop
+        (the latter cannot occur — self-edges are dropped on build).
+        """
+        adjacency = self.import_time_adjacency()
+        index_counter = 0
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[list[str]] = []
+
+        for start in sorted(adjacency):
+            if start in index:
+                continue
+            work: list[tuple[str, list[str], int]] = [
+                (start, sorted(adjacency[start]), 0)
+            ]
+            index[start] = low[start] = index_counter
+            index_counter += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, successors, cursor = work.pop()
+                advanced = False
+                while cursor < len(successors):
+                    nxt = successors[cursor]
+                    cursor += 1
+                    if nxt not in index:
+                        work.append((node, successors, cursor))
+                        index[nxt] = low[nxt] = index_counter
+                        index_counter += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, sorted(adjacency[nxt]), 0))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(components)
+
+
+def build_import_graph(modules: dict[str, ast.Module]) -> ImportGraph:
+    """Resolve every project-internal import of the analyzed modules.
+
+    Args:
+        modules: file label -> parsed AST, as built by the engine.  The
+            first path segment of each label names the project root
+            package (``repro``); imports into other roots are ignored.
+    """
+    nodes: dict[str, ModuleNode] = {}
+    for label, tree in modules.items():
+        parts = list(PurePosixPath(label).with_suffix("").parts)
+        if len(parts) < 2:
+            continue  # a bare file has no package context to resolve against
+        is_package = parts[-1] == "__init__"
+        module_parts = tuple(parts[:-1] if is_package else parts)
+        root = parts[0]
+        package = parts[1] if len(parts) > 2 else ""
+        collector = _ImportCollector(module_parts, root, is_package)
+        collector.visit(tree)
+        nodes[label] = ModuleNode(
+            label=label,
+            name=".".join(module_parts),
+            package=package,
+            edges=collector.edges,
+        )
+    return ImportGraph(nodes)

@@ -13,6 +13,9 @@ Codes are grouped by rule family::
     API0xx  api          (interface hygiene: mutable defaults, global state)
     CON0xx  concurrency  (lock discipline over the project thread model,
                           see docs/CONLINT.md)
+    PRF0xx  performance  (hot-path anti-patterns; severity is
+                          profile-guided, see docs/PERFLINT.md)
+    ARCH0xx architecture (import-graph layering, see docs/PERFLINT.md)
     LNT0xx  analyzer     (the analyzer's own operational diagnostics)
 
 Codes are append-only: a released code never changes meaning, and retired
@@ -28,6 +31,7 @@ __all__ = ["lint_rule_specs", "lint_spec_for"]
 
 _ERROR = Severity.ERROR
 _WARNING = Severity.WARNING
+_INFO = Severity.INFO
 
 _SPECS: tuple[RuleSpec, ...] = (
     # -- units ------------------------------------------------------------
@@ -200,6 +204,85 @@ _SPECS: tuple[RuleSpec, ...] = (
         "your critical section to arbitrary code: a callback that blocks "
         "stalls every thread on the lock, and one that re-enters the "
         "object deadlocks it.",
+    ),
+    # -- performance (default severity is info: perflint findings are
+    # promoted to error only when the hotness model places them on a
+    # recorded hot path — see repro.lint.hotness) -------------------------
+    RuleSpec(
+        "PRF001",
+        "python-loop-over-array",
+        _INFO,
+        "performance",
+        "A Python for-loop iterating numpy array elements (or appending "
+        "per element) in a kernel module runs the interpreter once per "
+        "element; the vectorised form is orders of magnitude faster and "
+        "the ROADMAP's 500-component coupling target dies without it.",
+    ),
+    RuleSpec(
+        "PRF002",
+        "loop-invariant-allocation",
+        _INFO,
+        "performance",
+        "Allocating an array whose arguments do not depend on the loop "
+        "variable re-runs the allocator every iteration for the same "
+        "result; hoist it out of the loop (or preallocate and fill).",
+    ),
+    RuleSpec(
+        "PRF003",
+        "repeated-attribute-lookup",
+        _INFO,
+        "performance",
+        "The same dotted attribute path resolved many times inside one "
+        "loop pays the lookup chain per iteration; bind it to a local "
+        "before the loop.",
+    ),
+    RuleSpec(
+        "PRF004",
+        "all-pairs-python-scan",
+        _INFO,
+        "performance",
+        "Nested for-i/for-j Python scans over the same sequence are the "
+        "O(n^2) interpreter pattern the blocked/vectorised kernels exist "
+        "to replace; route pair work through the vectorised path.",
+    ),
+    RuleSpec(
+        "PRF005",
+        "heavy-capture-into-pool",
+        _INFO,
+        "performance",
+        "Heavyweight objects (arrays, components, tracers) passed into "
+        "ProcessPoolExecutor task args are pickled per task; ship a "
+        "fingerprint or key and rebuild (or cache) in the worker.",
+    ),
+    # -- architecture (enforces docs/ARCHITECTURE.md; always error) -------
+    RuleSpec(
+        "ARCH001",
+        "import-cycle",
+        _ERROR,
+        "architecture",
+        "An import-time cycle between project modules makes import order "
+        "load-bearing: whichever module is imported first wins, and a "
+        "cold start from the wrong entry point crashes with a partially "
+        "initialised module.",
+    ),
+    RuleSpec(
+        "ARCH002",
+        "layer-violation",
+        _ERROR,
+        "architecture",
+        "A lower layer importing an upper one inverts the dependency "
+        "arrow the architecture is built on; the upper layer can no "
+        "longer be refactored (or extracted into the service layer) "
+        "without dragging the kernel along.",
+    ),
+    RuleSpec(
+        "ARCH003",
+        "imports-cli",
+        _ERROR,
+        "architecture",
+        "repro.cli is the outermost shell — argument parsing and process "
+        "exit codes; library code importing it couples every consumer to "
+        "the command line.",
     ),
     # -- analyzer ---------------------------------------------------------
     RuleSpec(

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 rendering of physlint findings.
+
+One function, shared by every rule family: :func:`findings_to_sarif`
+turns a list of :class:`~repro.lint.base.LintFinding` into the Static
+Analysis Results Interchange Format document GitHub code scanning
+ingests (``repro-emi lint-src --format sarif``, uploaded by CI on
+non-fork runs).
+
+The document is deliberately minimal and deterministic — tool driver,
+the rule catalogue for the codes that actually fired (id, short
+description, help text from the registry rationale), and one result per
+finding with its file/line region.  Deterministic output (sorted rules,
+findings already sorted by the engine) keeps the golden-file test
+stable.
+"""
+
+from __future__ import annotations
+
+from ..check.diagnostics import Severity
+from .base import LintFinding
+from .registry import lint_spec_for
+
+__all__ = ["SARIF_VERSION", "findings_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS: dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_entry(code: str) -> dict[str, object]:
+    spec = lint_spec_for(code)
+    return {
+        "id": code,
+        "name": spec.title,
+        "shortDescription": {"text": spec.title},
+        "fullDescription": {"text": spec.rationale},
+        "defaultConfiguration": {"level": _LEVELS[spec.severity]},
+        "properties": {"category": spec.category},
+    }
+
+
+def _result_entry(finding: LintFinding, rule_index: dict[str, int]) -> dict[str, object]:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} ({finding.hint})"
+    return {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+
+
+def findings_to_sarif(
+    findings: list[LintFinding], tool_version: str = "0"
+) -> dict[str, object]:
+    """The SARIF 2.1.0 document for a set of surfaced findings.
+
+    Args:
+        findings: surfaced findings (post suppressions/baseline), in the
+            engine's (file, line, code) order — preserved in ``results``.
+        tool_version: reported driver version (the package version).
+    """
+    codes = sorted({finding.code for finding in findings})
+    rule_index = {code: index for index, code in enumerate(codes)}
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "physlint",
+                        "informationUri": "docs/PHYSLINT.md",
+                        "version": tool_version,
+                        "rules": [_rule_entry(code) for code in codes],
+                    }
+                },
+                "results": [
+                    _result_entry(finding, rule_index) for finding in findings
+                ],
+            }
+        ],
+    }

@@ -239,6 +239,14 @@ class TestEngine:
             "CON003",
             "CON004",
             "CON005",
+            "PRF001",
+            "PRF002",
+            "PRF003",
+            "PRF004",
+            "PRF005",
+            "ARCH001",
+            "ARCH002",
+            "ARCH003",
             "LNT001",
         } == set(codes)
 

@@ -122,3 +122,46 @@ class TestAngularPositionSweep:
             angular_position_sweep(
                 small_bobbin_choke(), x2_cap, float("nan"), np.array([0.0, 90.0])
             )
+
+
+class TestSweepMatchesDirectEvaluation:
+    """The batched miss path in ``_signed_couplings`` (list comprehensions
+    instead of per-element appends) must be bit-identical to evaluating
+    each point directly — in every database combination."""
+
+    def test_distance_sweep_equals_per_point_calls(self, x2_cap):
+        from repro.coupling.pair import component_coupling
+        from repro.geometry import Placement2D, Vec2
+
+        other = FilmCapacitorX2()
+        ds = np.array([0.022, 0.03, 0.045])
+        swept = distance_sweep(x2_cap, other, ds)
+        place_a = Placement2D.at(0.0, 0.0, 0.0)
+        direction = Vec2.from_polar(1.0, np.deg2rad(0.0))
+        direct = [
+            abs(
+                component_coupling(
+                    x2_cap,
+                    place_a,
+                    other,
+                    Placement2D(direction * float(d), np.deg2rad(0.0)),
+                ).k
+            )
+            for d in ds
+        ]
+        assert swept.tolist() == direct  # exact equality, not approx
+
+    def test_cache_mixed_hits_and_misses_identical(self, x2_cap):
+        from repro.coupling import CouplingDatabase
+
+        other = FilmCapacitorX2()
+        ds = np.array([0.022, 0.03, 0.045])
+        plain = distance_sweep(x2_cap, other, ds)
+        db = CouplingDatabase()
+        # Seed only the middle point: the sweep below mixes cache hits
+        # with fresh solves and must still reproduce the uncached result.
+        distance_sweep(x2_cap, other, np.array([0.03]), database=db)
+        mixed = distance_sweep(x2_cap, other, ds, database=db)
+        assert mixed.tolist() == plain.tolist()
+        assert db.hits >= 1
+        assert db.misses >= 3

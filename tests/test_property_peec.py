@@ -40,7 +40,7 @@ def separated_filament_pairs(draw):
     f1 = draw(filaments())
     offset = Vec3(draw(mm), draw(mm) + 0.12, draw(mm))  # min ~7 cm apart
     start = f1.end + offset
-    direction = Vec3(draw(mm), draw(mm) + 0.05, draw(mm))
+    direction = Vec3(draw(mm), draw(mm) + 0.06, draw(mm))  # never zero length
     return f1, Filament(start, start + direction)
 
 
