@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint ruff mypy physlint physlint-baseline conlint perflint hotness-baseline race-check bench-smoke events-smoke perf-baseline perf-check
+.PHONY: test lint ruff mypy physlint physlint-baseline conlint perflint hotness-baseline race-check bench-smoke events-smoke serve-smoke docs-check perf-baseline perf-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,16 @@ bench-smoke:
 ## schema, the worker chunk events and the perf-flight HTML artefact.
 events-smoke:
 	$(PYTHON) benchmarks/smoke_events.py
+
+## Boot the HTTP job service on an ephemeral port, run one flow job
+## end to end (SSE stream, artifacts, /metrics), shut down cleanly.
+serve-smoke:
+	$(PYTHON) benchmarks/smoke_service.py
+
+## Documentation hygiene: docs/README.md indexes every docs file, all
+## relative links under docs/ + README resolve, serve --help is current.
+docs-check:
+	$(PYTHON) -m pytest -x -q tests/test_docs.py
 
 ## Regenerate the committed perf baseline for the CI regression gate.
 ## Counters in it are deterministic; wall times are only gated loosely.

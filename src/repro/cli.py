@@ -9,6 +9,7 @@ Mirrors the paper's usage loop on the ASCII file interface::
     repro-emi rules  board.txt --k-threshold 0.01 -o ruled.txt
     repro-emi compact placed.txt -o compacted.txt
     repro-emi demo   --out-dir out/
+    repro-emi serve  --port 8765
 
 ``check`` statically validates a design file without running any solver
 (rule catalogue in ``docs/CHECKS.md``), ``lint-src`` statically analyzes
@@ -16,8 +17,10 @@ the *source tree* for unit-dimension and numerical-robustness defects
 (rule catalogue in ``docs/PHYSLINT.md``), ``place`` runs the automatic
 three-step method, ``drc`` prints the red/green rule verdicts, ``rules``
 derives PEMD rules for every pair of field-relevant parts in the file,
-``compact`` shrinks a legal layout, and ``demo`` reproduces the
-buck-converter headline comparison.
+``compact`` shrinks a legal layout, ``demo`` reproduces the
+buck-converter headline comparison, and ``serve`` runs the whole design
+flow as an HTTP/JSON job service with live SSE progress streaming and
+per-job artifact storage (API reference in ``docs/SERVICE.md``).
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
 the run), ``--metrics-out FILE`` (write the run report as JSON),
@@ -260,6 +263,76 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_flags, perf_flags],
     )
     p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the EMI-design HTTP job service",
+        description="Serve the EMI design flow as an HTTP/JSON job API: "
+        "POST design or board payloads to /jobs, stream progress as "
+        "Server-Sent Events from /jobs/{id}/events, fetch artifacts from "
+        "/jobs/{id}/artifacts and Prometheus metrics from /metrics "
+        "(full reference: docs/SERVICE.md).",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    p_serve.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="job worker threads (default: 2)",
+    )
+    p_serve.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="artifact root (default: $REPRO_EMI_SERVICE_DIR or "
+        "~/.cache/repro-emi/service)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shared persistent coupling cache (default: "
+        "~/.cache/repro-emi/coupling)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared persistent coupling cache",
+    )
+    p_serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="default per-job wall-clock timeout in seconds (default: 300)",
+    )
+    p_serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued-job bound; submissions beyond it get 429 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--event-buffer",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="per-job telemetry ring-buffer capacity (default: 65536)",
+    )
 
     # -- the perf observatory (docs/OBSERVABILITY.md) ----------------------
 
@@ -1066,6 +1139,53 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return _PERF_COMMANDS[args.perf_command](args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import EmiService, ServiceConfig, default_data_dir
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    kwargs: dict = {
+        "host": args.host,
+        "port": args.port,
+        "pool_workers": args.pool,
+        "data_dir": args.data_dir or default_data_dir(),
+        "job_timeout_s": args.job_timeout,
+        "max_queued": args.max_jobs,
+        "event_buffer": args.event_buffer,
+    }
+    if args.no_cache or args.cache_dir is not None:
+        kwargs["cache_dir"] = cache_dir
+    config = ServiceConfig(**kwargs)
+    service = EmiService(config)
+    url = service.start()
+    print(f"repro-emi service listening on {url}")
+    print(f"  artifacts: {config.jobs_root()}")
+    print(
+        f"  workers: {config.pool_workers}  cache: "
+        f"{config.cache_dir if config.cache_dir else 'disabled'}"
+    )
+    print("POST /jobs to submit; Ctrl-C drains in-flight jobs and exits.")
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        print("shutting down: draining in-flight jobs...", flush=True)
+        service.stop(drain=True)
+        metrics = service.manager.metrics.snapshot()
+        completed = int(metrics["counters"].get("service.jobs_completed", 0))
+        failed = int(metrics["counters"].get("service.jobs_failed", 0))
+        cancelled = int(metrics["counters"].get("service.jobs_cancelled", 0))
+        print(
+            f"done: {completed} succeeded, {failed} failed, "
+            f"{cancelled} cancelled"
+        )
+    return 0
+
+
 _COMMANDS = {
     "check": _cmd_check,
     "lint-src": _cmd_lint_src,
@@ -1074,6 +1194,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "compact": _cmd_compact,
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
     "perf": _cmd_perf,
 }
 

@@ -53,6 +53,7 @@ ARCH_LAYERS: dict[str, int] = {
     "converters": 7,
     "core": 8,
     "lint": 9,
+    "service": 9,
     "cli": 10,
 }
 

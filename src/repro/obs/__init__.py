@@ -70,6 +70,7 @@ from .tracer import (
     disable,
     enable,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
 )
 
@@ -81,6 +82,7 @@ __all__ = [
     "RunReport",
     "get_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "enable",
     "disable",
     "PerfHistory",

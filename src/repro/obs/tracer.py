@@ -24,6 +24,14 @@ corrupt silently).  Counters and gauges, in contrast, are
 lock-protected and may be written from any thread — the background
 :class:`~repro.obs.ResourceSampler` does exactly that.
 
+For *concurrent* instrumented runs in one process — the service layer's
+worker threads each tracing their own job — :func:`set_thread_tracer`
+installs a per-thread override that :func:`get_tracer` prefers over the
+process-global tracer.  Each worker creates its :class:`Tracer` on its
+own thread (so the span-stack owner is right), installs it for the
+duration of the job, and restores the previous override in a ``finally``
+block; other threads keep seeing the global tracer.
+
 When an :class:`~repro.obs.EventBus` is attached (``Tracer(bus=...)`` or
 ``enable(bus=...)``), every span entry/exit, counter bump, gauge write
 and stage transition additionally publishes a
@@ -52,6 +60,7 @@ __all__ = [
     "NULL_TRACER",
     "get_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "enable",
     "disable",
 ]
@@ -502,9 +511,21 @@ NULL_TRACER = NullTracer()
 
 _tracer: Tracer | NullTracer = NULL_TRACER
 
+#: Per-thread tracer overrides (service worker threads trace one job
+#: each without disturbing the process-global tracer).
+_thread_tracers = threading.local()
+
 
 def get_tracer() -> Tracer | NullTracer:
-    """The process-global tracer (the null tracer unless enabled)."""
+    """The active tracer for this thread.
+
+    A per-thread override installed via :func:`set_thread_tracer` wins;
+    otherwise the process-global tracer (the null tracer unless
+    :func:`enable` ran).
+    """
+    override: Tracer | NullTracer | None = getattr(_thread_tracers, "tracer", None)
+    if override is not None:
+        return override
     return _tracer
 
 
@@ -513,6 +534,29 @@ def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     global _tracer  # physlint: disable=API002 -- documented singleton accessor
     _tracer = tracer
     return tracer
+
+
+def set_thread_tracer(
+    tracer: Tracer | NullTracer | None,
+) -> Tracer | NullTracer | None:
+    """Install a tracer override for the *calling thread only*.
+
+    ``None`` clears the override (this thread falls back to the global
+    tracer).  Returns the previous override so callers can restore it::
+
+        previous = set_thread_tracer(job_tracer)
+        try:
+            ...  # instrumented work, isolated from other threads
+        finally:
+            set_thread_tracer(previous)
+
+    The span-stack ownership rule is unchanged: the installing thread
+    should also be the one that *created* the tracer, or spans will
+    refuse to open.
+    """
+    previous: Tracer | NullTracer | None = getattr(_thread_tracers, "tracer", None)
+    _thread_tracers.tracer = tracer
+    return previous
 
 
 def enable(

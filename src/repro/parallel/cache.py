@@ -23,6 +23,14 @@ interrupted runs can never leave a torn entry, and every I/O error
 degrades to a miss — the cache is an accelerator, never a correctness
 dependency.
 
+The store is multi-tenant by construction: any number of processes *and*
+threads may point instances at the same directory (the service layer
+shares one cache directory across all jobs, see ``docs/SERVICE.md``).
+On-disk safety comes from the atomic replace; the per-instance
+``hits``/``misses``/``stale``/``writes`` accounting is additionally
+lock-guarded so one instance may be shared between threads without
+losing counts.
+
 The store is payload-agnostic: it persists plain JSON dictionaries.  The
 :class:`repro.coupling.CouplingDatabase` owns the mapping between
 ``CouplingResult`` and its dictionary form, keeping this layer free of any
@@ -34,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -70,16 +79,31 @@ class PersistentCouplingCache:
 
     Attributes:
         hits, misses, stale, writes: lifetime operation counts of this
-            instance (the on-disk store itself is shared and unaffected).
+            instance, lock-guarded so a shared instance counts correctly
+            under threads (the on-disk store itself is shared and
+            unaffected).
     """
 
     def __init__(self, cache_dir: str | Path | None = None, version: int = CACHE_SCHEMA_VERSION):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.version = version
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stale = 0
         self.writes = 0
+
+    def _bump(self, attr: str) -> None:
+        """Increment one lifetime counter under the stats lock."""
+        with self._stats_lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    def hit_rate(self) -> float | None:
+        """Lifetime disk hit-rate of this instance (``None`` before any
+        lookup; stale entries force a re-solve, so they rate as misses)."""
+        with self._stats_lock:
+            lookups = self.hits + self.misses + self.stale
+            return self.hits / lookups if lookups else None
 
     def path_for(self, key: str) -> Path:
         """On-disk location of a key (two-level sharding by hex prefix)."""
@@ -96,7 +120,7 @@ class PersistentCouplingCache:
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
-            self.misses += 1
+            self._bump("misses")
             tracer.count("cache.miss")
             return None
         try:
@@ -108,11 +132,11 @@ class PersistentCouplingCache:
             stored_version = -1
             payload = None
         if payload is None or stored_version != self.version or not isinstance(payload, dict):
-            self.stale += 1
+            self._bump("stale")
             tracer.count("cache.stale")
             self._discard(path)
             return None
-        self.hits += 1
+        self._bump("hits")
         tracer.count("cache.hit")
         return payload
 
@@ -138,7 +162,7 @@ class PersistentCouplingCache:
                 raise
         except OSError:
             return
-        self.writes += 1
+        self._bump("writes")
         get_tracer().count("cache.write")
 
     def clear(self) -> int:

@@ -1,0 +1,73 @@
+"""Typed failures of the service layer.
+
+Every error the HTTP shell turns into a status code is a class here, so
+the job machinery never imports (or even knows about) HTTP:
+
+* :class:`PayloadError` — the submitted job payload is malformed or the
+  submitted board fails the static design check; carries the
+  :class:`~repro.check.CheckReport` when one exists (the 400 body cites
+  it verbatim).
+* :class:`JobCancelled` / :class:`JobTimeout` — raised *inside* a
+  running job at the next stage checkpoint; the runner maps them to the
+  ``cancelled`` / ``failed`` terminal states.
+* :class:`UnknownJobError` — lookup of a job id the store never issued
+  (HTTP 404).
+* :class:`ServiceClosedError` — submission after shutdown began
+  (HTTP 503) or over the queue bound (HTTP 429, ``retryable=True``).
+"""
+
+from __future__ import annotations
+
+from ..check import CheckReport
+
+__all__ = [
+    "ServiceError",
+    "PayloadError",
+    "JobCancelled",
+    "JobTimeout",
+    "UnknownJobError",
+    "ServiceClosedError",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every service-layer failure."""
+
+
+class PayloadError(ServiceError):
+    """A job submission that must be rejected before it is queued.
+
+    Attributes:
+        check_report: the static-validation report when the rejection
+            came from the design linter (``None`` for shape/type
+            problems with the payload itself).
+    """
+
+    def __init__(self, message: str, check_report: CheckReport | None = None):
+        super().__init__(message)
+        self.check_report = check_report
+
+
+class JobCancelled(ServiceError):
+    """Raised at a stage checkpoint after ``DELETE /jobs/{id}``."""
+
+
+class JobTimeout(ServiceError):
+    """Raised at a stage checkpoint once the job's deadline passed."""
+
+
+class UnknownJobError(ServiceError):
+    """The requested job id does not exist."""
+
+
+class ServiceClosedError(ServiceError):
+    """Submission refused: the service is shutting down or saturated.
+
+    Attributes:
+        retryable: True when the refusal is a full queue (the client may
+            retry later), False when shutdown is in progress.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = retryable

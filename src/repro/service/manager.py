@@ -1,0 +1,163 @@
+"""The job manager: the service's one stateful core object.
+
+Owns the job store, the worker pool, the runner and the metrics — the
+HTTP shell is a thin translation layer over exactly this API, and the
+tests/smoke drive it both through HTTP and directly.
+
+Submission path: parse + validate the payload (rejections never occupy
+a worker), mint the content-addressed job id, create the per-job
+artifact directory and telemetry fabric, enqueue.  Shutdown path:
+:meth:`close` drains (or aborts) the pool and joins every worker before
+returning, so callers can rely on all artifacts being flushed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any
+
+from ..obs import EventRingBuffer, EventBus, JsonlSink
+from .config import ServiceConfig
+from .errors import PayloadError, UnknownJobError
+from .jobs import Job, JobState, parse_job_payload
+from .metrics import ServiceMetrics
+from .pool import WorkerPool
+from .runner import JobRunner
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """Job store + worker pool + metrics for one service instance."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.runner = JobRunner(self.config, self.metrics)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._closed = False
+        self.config.jobs_root().mkdir(parents=True, exist_ok=True)
+        if self.config.cache_dir is not None:
+            self.config.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._pool = WorkerPool(
+            self.config.pool_workers,
+            self._execute,
+            self.metrics,
+            max_queued=self.config.max_queued,
+        )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Any) -> Job:
+        """Validate and enqueue one job; returns it in ``queued`` state.
+
+        Raises:
+            PayloadError: malformed payload or failing design check
+                (counted as ``service.jobs_rejected``).
+            ServiceClosedError: shutting down, or the queue is full.
+        """
+        try:
+            request = parse_job_payload(
+                payload, default_timeout_s=self.config.job_timeout_s
+            )
+        except PayloadError:
+            self.metrics.inc("service.jobs_rejected")
+            raise
+        seq = next(self._seq)
+        job_id = f"j{seq:04d}-{request.digest[:12]}"
+        artifacts_dir = self.config.jobs_root().joinpath(job_id)
+        artifacts_dir.mkdir(parents=True, exist_ok=True)
+        job = Job(
+            id=job_id,
+            seq=seq,
+            request=request,
+            artifacts_dir=artifacts_dir,
+            bus=EventBus(),
+            ring=EventRingBuffer(capacity=self.config.event_buffer),
+            sink=JsonlSink(artifacts_dir / "events.jsonl"),
+        )
+        with self._lock:
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._pool.submit(job)  # raises ServiceClosedError when refused
+        self.metrics.inc("service.jobs_submitted")
+        return job
+
+    def _execute(self, job: Job) -> None:
+        self.runner.run(job)
+        terminal_counter = {
+            JobState.SUCCEEDED: "service.jobs_completed",
+            JobState.FAILED: "service.jobs_failed",
+            JobState.CANCELLED: "service.jobs_cancelled",
+        }.get(job.state)
+        if terminal_counter is not None:
+            self.metrics.inc(terminal_counter)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The job of that id.
+
+        Raises:
+            UnknownJobError: the id was never issued.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation (see :meth:`Job.request_cancel`).
+
+        Raises:
+            UnknownJobError: the id was never issued.
+        """
+        job = self.get(job_id)
+        # Terminal counting happens in _execute — every submitted job,
+        # cancelled-while-queued included, passes through the worker loop
+        # exactly once.
+        job.request_cancel()
+        return job
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no job is queued or running (True on success)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._pool.idle():
+                return True
+            time.sleep(0.02)
+        return self._pool.idle()
+
+    # -- shutdown ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        with self._lock:
+            return self._closed
+
+    def close(self, drain: bool | None = None, timeout: float | None = None) -> None:
+        """Stop the pool and join every worker (idempotent).
+
+        Args:
+            drain: finish queued jobs (True) or cancel them (False);
+                defaults to ``config.drain_on_close``.
+            timeout: per-worker join timeout [s].
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        effective_drain = self.config.drain_on_close if drain is None else drain
+        self._pool.stop(drain=effective_drain, timeout=timeout)

@@ -1,0 +1,105 @@
+"""Service-level counters and gauges, exported through the obs stack.
+
+The per-job story is already covered by each job's own tracer and event
+stream; this module aggregates the *fleet* view — queue depth, worker
+utilisation, lifetime job counts, shared-cache hit totals — behind one
+thread-safe :class:`ServiceMetrics`.
+
+There is deliberately no second exposition-format implementation: the
+metrics freeze into a :class:`~repro.obs.RunReport` (counters on a
+synthetic ``service`` root span, gauges as report gauges) and
+``GET /metrics`` renders that report through the *existing*
+:func:`repro.obs.to_prometheus` exporter — the same golden-tested path
+``repro-emi perf export --format prometheus`` uses.
+
+Catalogue (names as they appear in the exposition):
+
+=============================  =======  ====================================
+``service.jobs_submitted``     counter  accepted ``POST /jobs`` submissions
+``service.jobs_completed``     counter  jobs that reached ``succeeded``
+``service.jobs_failed``        counter  jobs that reached ``failed``
+``service.jobs_cancelled``     counter  jobs that reached ``cancelled``
+``service.jobs_rejected``      counter  submissions refused with 4xx/5xx
+``service.http_requests``      counter  HTTP requests served (all routes)
+``service.sse_streams``        counter  ``/events`` streams opened
+``service.cache_hits``         counter  shared coupling-cache hits (all jobs)
+``service.cache_misses``       counter  shared coupling-cache field solves
+``service.queue_depth``        gauge    jobs waiting in the queue
+``service.jobs_running``       gauge    jobs currently executing
+``service.workers_busy``       gauge    pool threads executing a job
+``service.workers_total``      gauge    pool size
+``service.uptime_s``           gauge    seconds since the service started
+=============================  =======  ====================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..obs import RunReport, Span, to_prometheus
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe counter/gauge registry for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._t0 = time.monotonic()
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Add ``n`` to a named counter (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge to an absolute value (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def adjust_gauge(self, name: str, delta: float) -> None:
+        """Add ``delta`` to a gauge (atomic read-modify-write)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + delta
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float:
+        """Current value of a gauge (0 when never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{"counters": {...}, "gauges": {...}}`` (uptime included)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        gauges["service.uptime_s"] = time.monotonic() - self._t0
+        return {"counters": counters, "gauges": gauges}
+
+    def run_report(self, meta: dict[str, Any] | None = None) -> RunReport:
+        """Freeze the current state into a :class:`~repro.obs.RunReport`.
+
+        Counters land on a synthetic ``service`` root span so the
+        standard exporter renders them as ``counter_total`` samples.
+        """
+        state = self.snapshot()
+        root = Span("service")
+        root.count = 1
+        root.counters = dict(state["counters"])
+        report_meta = {"command": "serve"}
+        if meta:
+            report_meta.update(meta)
+        return RunReport(root=root, gauges=dict(state["gauges"]), meta=report_meta)
+
+    def prometheus(self, meta: dict[str, Any] | None = None) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        return to_prometheus(self.run_report(meta))

@@ -1,0 +1,157 @@
+"""The bounded worker pool draining the job queue.
+
+Plain ``threading.Thread`` workers over a ``queue.Queue`` — no executor
+abstraction, because the pool's whole contract is lifecycle: workers are
+non-daemon and :meth:`WorkerPool.stop` always joins them, so a service
+shutdown provably leaves no job mid-write.  Two shutdown modes:
+
+* **drain** (the default) — stop accepting, let every queued and
+  running job finish, then join;
+* **abort** — flag every queued *and running* job for cancellation
+  (running jobs stop at their next stage checkpoint), then join.
+
+Queue depth and worker utilisation are exported live via
+:class:`~repro.service.metrics.ServiceMetrics`
+(``service.queue_depth`` / ``service.workers_busy``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable
+
+from .errors import ServiceClosedError
+from .jobs import Job
+from .metrics import ServiceMetrics
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Fixed-size thread pool executing jobs in submission order."""
+
+    def __init__(
+        self,
+        workers: int,
+        handler: Callable[[Job], None],
+        metrics: ServiceMetrics,
+        max_queued: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._handler = handler
+        self._metrics = metrics
+        self._max_queued = max_queued
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._queued: list[Job] = []
+        self._running: dict[str, Job] = {}
+        metrics.set_gauge("service.workers_total", float(workers))
+        metrics.set_gauge("service.workers_busy", 0.0)
+        metrics.set_gauge("service.queue_depth", 0.0)
+        metrics.set_gauge("service.jobs_running", 0.0)
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"emi-svc-worker-{i}", daemon=False
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job for execution.
+
+        Raises:
+            ServiceClosedError: after :meth:`stop` began (503-shaped) or
+                when the queue bound is reached (429-shaped,
+                ``retryable=True``).
+        """
+        with self._lock:
+            if not self._accepting:
+                raise ServiceClosedError("service is shutting down")
+            if len(self._queued) >= self._max_queued:
+                raise ServiceClosedError(
+                    f"job queue is full ({self._max_queued} waiting)",
+                    retryable=True,
+                )
+            self._queued.append(job)
+            depth = len(self._queued)
+        self._metrics.set_gauge("service.queue_depth", float(depth))
+        self._queue.put(job)
+
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a worker."""
+        with self._lock:
+            return len(self._queued)
+
+    def running_ids(self) -> set[str]:
+        """Ids of jobs currently executing."""
+        with self._lock:
+            return set(self._running)
+
+    def idle(self) -> bool:
+        """True when nothing is queued and nothing is running."""
+        with self._lock:
+            return not self._queued and not self._running
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _worker(self) -> None:
+        queued, running_map = self._queued, self._running
+        set_gauge = self._metrics.set_gauge
+        adjust_gauge = self._metrics.adjust_gauge
+        while True:
+            job = self._queue.get()
+            if job is None:
+                break
+            with self._lock:
+                if job in queued:
+                    queued.remove(job)
+                depth = len(queued)
+                running_map[job.id] = job
+                running = len(running_map)
+            set_gauge("service.queue_depth", float(depth))
+            set_gauge("service.jobs_running", float(running))
+            adjust_gauge("service.workers_busy", 1.0)
+            try:
+                self._handler(job)
+            finally:
+                with self._lock:
+                    running_map.pop(job.id, None)
+                    running = len(running_map)
+                set_gauge("service.jobs_running", float(running))
+                adjust_gauge("service.workers_busy", -1.0)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the pool and join every worker (idempotent).
+
+        Args:
+            drain: when True, queued jobs still run to completion; when
+                False, queued and running jobs are flagged for
+                cancellation first (running jobs stop at their next
+                stage checkpoint).
+            timeout: per-thread join timeout [s] (``None`` waits
+                indefinitely — jobs are finite by construction thanks to
+                the per-job timeout).
+        """
+        with self._lock:
+            already_stopped = not self._accepting
+            self._accepting = False
+            to_cancel = (
+                [] if drain else list(self._queued) + list(self._running.values())
+            )
+        for job in to_cancel:
+            job.request_cancel()
+        if not already_stopped:
+            for _ in self._threads:
+                self._queue.put(None)
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=timeout)

@@ -1,0 +1,77 @@
+"""Unit tests of the service metrics registry and its Prometheus export."""
+
+import threading
+
+from repro.obs import RunReport
+from repro.service import ServiceMetrics
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        m = ServiceMetrics()
+        m.inc("service.jobs_submitted")
+        m.inc("service.jobs_submitted", 2)
+        assert m.counter("service.jobs_submitted") == 3
+        assert m.counter("service.never_touched") == 0
+
+    def test_gauges_set_and_adjust(self):
+        m = ServiceMetrics()
+        m.set_gauge("service.queue_depth", 4.0)
+        assert m.gauge("service.queue_depth") == 4.0
+        m.adjust_gauge("service.workers_busy", 1.0)
+        m.adjust_gauge("service.workers_busy", 1.0)
+        m.adjust_gauge("service.workers_busy", -1.0)
+        assert m.gauge("service.workers_busy") == 1.0
+
+    def test_snapshot_includes_uptime(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["gauges"]["service.uptime_s"] >= 0.0
+
+    def test_thread_safety_under_hammer(self):
+        m = ServiceMetrics()
+
+        def hammer():
+            for _ in range(1000):
+                m.inc("service.http_requests")
+                m.adjust_gauge("service.workers_busy", 1.0)
+                m.adjust_gauge("service.workers_busy", -1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("service.http_requests") == 8000
+        assert m.gauge("service.workers_busy") == 0.0
+
+
+class TestPrometheusExport:
+    def test_families_and_labels(self):
+        m = ServiceMetrics()
+        m.inc("service.jobs_completed", 7)
+        m.set_gauge("service.queue_depth", 3.0)
+        text = m.prometheus()
+        assert (
+            'repro_emi_counter_total{counter="service.jobs_completed"} 7' in text
+        )
+        assert 'repro_emi_gauge{name="service.queue_depth"} 3' in text
+        # The acceptance-facing names appear literally in the export.
+        assert "service.queue_depth" in text
+        assert "service.jobs_completed" in text
+
+    def test_help_and_type_lines_present(self):
+        m = ServiceMetrics()
+        m.inc("service.http_requests")
+        text = m.prometheus()
+        assert "# TYPE repro_emi_counter_total counter" in text
+        assert "# TYPE repro_emi_gauge gauge" in text
+
+    def test_run_report_is_schema_valid(self, tmp_path):
+        m = ServiceMetrics()
+        m.inc("service.jobs_submitted", 2)
+        report = m.run_report(meta={"command": "service"})
+        path = tmp_path / "service_report.json"
+        report.write(path)
+        loaded = RunReport.from_json(path.read_text())
+        assert loaded.totals()["service.jobs_submitted"] == 2
+        assert loaded.meta["command"] == "service"
