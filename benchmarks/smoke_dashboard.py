@@ -1,0 +1,139 @@
+"""Smoke test of the live service dashboard and its /stats feed.
+
+Boots a real server on an ephemeral port, runs two quick board jobs to
+populate the latency histograms, then checks the observability surface:
+
+* ``GET /stats`` returns the JSON aggregation (counters, gauges,
+  chartable histograms, cache hit ratio, recent job snapshots);
+* the queue-wait and end-to-end latency histograms carry observations
+  with non-zero percentile estimates;
+* ``GET /dashboard`` is self-contained HTML (no external scripts,
+  styles or fonts) whose embedded bootstrap snapshot carries the same
+  live numbers;
+* ``GET /metrics`` exposes the matching Prometheus histogram families.
+
+Writes the rendered dashboard page and the last job's flight recorder
+to ``benchmarks/out/`` (or ``argv[1]``) so CI can upload them as
+workflow artifacts.  Invoked by ``make dashboard-smoke``; runs in a few
+seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.service import EmiService, ServiceConfig
+
+BOARD = """EMIPLACE 1
+TITLE dashboard smoke board
+BOARD 0 GROUND 1
+  OUTLINE 0,0 70,0 70,50 0,50
+END
+COMP CX1 TYPE FilmCapacitorX2 PN CX1-X2 SIZE 18x8x15
+COMP LF1 TYPE BobbinChoke PN LF1-CH SIZE 12x10x12
+COMP Q1 TYPE PowerMosfet PN Q1-DPAK SIZE 10x9x2.3
+NET VIN CX1.1 LF1.1
+NET VBUS LF1.2 Q1.D
+RULE CLEAR * * 0.5
+"""
+
+
+def get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.read()
+
+
+def submit_and_wait(base_url: str) -> dict:
+    request = urllib.request.Request(
+        base_url + "/jobs",
+        data=json.dumps({"board": BOARD}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 202, response.status
+        job_id = json.load(response)["id"]
+    import time
+
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        snap = json.loads(get(f"{base_url}/jobs/{job_id}"))
+        if snap["state"] in ("succeeded", "failed", "cancelled"):
+            assert snap["state"] == "succeeded", snap.get("error")
+            return snap
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("benchmarks/out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    root = Path(tempfile.mkdtemp(prefix="repro-emi-dashboard-smoke-"))
+    service = EmiService(
+        ServiceConfig(
+            port=0,
+            pool_workers=2,
+            data_dir=root / "data",
+            cache_dir=None,
+            job_timeout_s=60.0,
+        )
+    )
+    base_url = service.start()
+    print(f"[smoke] service up at {base_url}")
+    try:
+        snaps = [submit_and_wait(base_url) for _ in range(2)]
+        print(f"[smoke] {len(snaps)} board jobs succeeded")
+
+        stats = json.loads(get(base_url + "/stats"))
+        for key in ("counters", "gauges", "histograms", "cache", "jobs", "jobs_total"):
+            assert key in stats, f"/stats is missing {key!r}"
+        assert stats["counters"]["service.jobs_completed"] >= 2
+        assert stats["jobs_total"] >= 2
+        for name in ("service.job_latency_seconds", "service.queue_wait_seconds"):
+            hist = stats["histograms"][name]
+            assert hist["count"] >= 2, (name, hist)
+            assert hist["buckets"][-1][0] == "+Inf"
+        assert stats["histograms"]["service.job_latency_seconds"]["p50"] > 0.0
+        run_ids = {job["run_id"] for job in stats["jobs"]}
+        assert len(run_ids) >= 2, "job snapshots in /stats miss distinct run ids"
+        print("[smoke] /stats aggregation is complete and chartable")
+
+        html = get(base_url + "/dashboard").decode()
+        assert html.startswith("<!DOCTYPE html>")
+        for marker in ('src="http', 'href="http', "@import", "cdn."):
+            assert marker not in html, f"dashboard references the network: {marker}"
+        start = html.index('<script id="bootstrap"')
+        start = html.index(">", start) + 1
+        bootstrap = json.loads(
+            html[start : html.index("</script>", start)].replace("<\\/", "</")
+        )
+        latency = bootstrap["histograms"]["service.job_latency_seconds"]
+        assert latency["p50"] > 0.0 and latency["p99"] > 0.0, latency
+        print("[smoke] /dashboard is self-contained with live percentiles")
+
+        metrics = get(base_url + "/metrics").decode()
+        for needle in (
+            "service_job_latency_seconds_bucket",
+            "service_queue_wait_seconds_bucket",
+            'le="+Inf"',
+        ):
+            assert needle in metrics, f"{needle} missing from /metrics"
+        print("[smoke] /metrics exposes the histogram families")
+
+        (out_dir / "dashboard.html").write_text(html, encoding="utf-8")
+        flight = get(
+            f"{base_url}/jobs/{snaps[-1]['id']}/artifacts/flight.html"
+        )
+        (out_dir / "flight.html").write_bytes(flight)
+        print(f"[smoke] wrote {out_dir}/dashboard.html and {out_dir}/flight.html")
+    finally:
+        service.stop()
+    print("[smoke] clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

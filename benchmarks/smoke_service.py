@@ -7,7 +7,13 @@ flow job over HTTP, follows it on the SSE stream, and verifies:
 * the job reaches ``succeeded`` with ``progress == 1.0``;
 * the SSE sequence numbers are gap-free and strictly monotonic;
 * the artifact directory holds a parseable RunReport stamped ``ok``;
-* ``/metrics`` exports the service counters in Prometheus form;
+* one run-correlation id is minted and identical across the job's
+  ``X-Repro-Run-Id`` header, its RunReport meta and every event in
+  ``events.jsonl``;
+* ``/metrics`` exports the service counters in Prometheus form,
+  including the ``service_job_latency_seconds_bucket`` histogram family;
+* ``GET /dashboard`` serves self-contained HTML whose bootstrap
+  snapshot carries non-empty latency percentiles;
 * shutdown drains cleanly — non-daemon workers joined, socket closed.
 
 Invoked by ``make serve-smoke`` (and CI); runs in a few seconds.
@@ -49,8 +55,12 @@ def main() -> int:
         )
         with urllib.request.urlopen(request) as response:
             assert response.status == 202, response.status
-            job_id = json.load(response)["id"]
-        print(f"[smoke] submitted {job_id}")
+            run_id = response.headers.get("X-Repro-Run-Id", "")
+            snapshot = json.load(response)
+            job_id = snapshot["id"]
+        assert run_id, "202 response is missing the X-Repro-Run-Id header"
+        assert snapshot["run_id"] == run_id, "header and snapshot run_id differ"
+        print(f"[smoke] submitted {job_id} (run {run_id})")
 
         seqs: list[int] = []
         event_type = data = None
@@ -81,7 +91,22 @@ def main() -> int:
             report = RunReport.from_json(response.read().decode())
         assert report.meta["status"] == "ok"
         assert report.meta["job_id"] == job_id
-        print("[smoke] run report artifact parses and is stamped ok")
+        assert report.meta["run_id"] == run_id, "RunReport meta run_id differs"
+        print("[smoke] run report artifact parses, stamped ok + run_id")
+
+        with urllib.request.urlopen(
+            f"{base_url}/jobs/{job_id}/artifacts/events.jsonl"
+        ) as response:
+            events = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+                if line.strip()
+            ]
+        assert events, "events.jsonl is empty"
+        assert all(e.get("run_id") == run_id for e in events), (
+            "events.jsonl carries a different run_id"
+        )
+        print(f"[smoke] all {len(events)} events correlate to run {run_id}")
 
         with urllib.request.urlopen(base_url + "/metrics") as response:
             metrics = response.read().decode()
@@ -89,9 +114,25 @@ def main() -> int:
             'counter="service.jobs_completed"',
             'name="service.queue_depth"',
             'name="service.workers_total"',
+            "service_job_latency_seconds_bucket",
+            "service_queue_wait_seconds_count",
         ):
             assert needle in metrics, f"{needle} missing from /metrics"
-        print("[smoke] prometheus export carries the service metrics")
+        print("[smoke] prometheus export carries counters + histogram families")
+
+        with urllib.request.urlopen(base_url + "/dashboard") as response:
+            html = response.read().decode()
+        assert html.startswith("<!DOCTYPE html>")
+        for marker in ('src="http', 'href="http', "@import", "cdn."):
+            assert marker not in html, f"dashboard is not self-contained: {marker}"
+        start = html.index('<script id="bootstrap"')
+        start = html.index(">", start) + 1
+        bootstrap = json.loads(
+            html[start : html.index("</script>", start)].replace("<\\/", "</")
+        )
+        latency = bootstrap["histograms"]["service.job_latency_seconds"]
+        assert latency["p50"] > 0.0 and latency["p99"] > 0.0, latency
+        print("[smoke] dashboard HTML is self-contained with live percentiles")
     finally:
         service.stop()
     print("[smoke] clean shutdown: workers joined, socket closed")

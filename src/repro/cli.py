@@ -9,6 +9,7 @@ Mirrors the paper's usage loop on the ASCII file interface::
     repro-emi rules  board.txt --k-threshold 0.01 -o ruled.txt
     repro-emi compact placed.txt -o compacted.txt
     repro-emi demo   --out-dir out/
+    repro-emi cache gc --max-size-mb 256 --max-age-days 30
     repro-emi serve  --port 8765
 
 ``check`` statically validates a design file without running any solver
@@ -21,6 +22,12 @@ derives PEMD rules for every pair of field-relevant parts in the file,
 buck-converter headline comparison, and ``serve`` runs the whole design
 flow as an HTTP/JSON job service with live SSE progress streaming and
 per-job artifact storage (API reference in ``docs/SERVICE.md``).
+
+Every traced run mints a ULID-like *run-correlation id*, stamped into
+the run report meta, every telemetry event and the perf-history row; a
+literal ``{run_id}`` in ``--metrics-out`` / ``--events-out`` paths is
+substituted with it, and ``perf history`` / ``perf diff`` accept
+``--run-id`` to select runs by it.
 
 Every subcommand accepts ``--trace`` (print the span/counter table after
 the run), ``--metrics-out FILE`` (write the run report as JSON),
@@ -264,6 +271,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_demo.add_argument("--out-dir", type=Path, default=Path("repro-demo-out"))
 
+    p_cache = sub.add_parser(
+        "cache",
+        help="manage the persistent coupling cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    pc_gc = cache_sub.add_parser(
+        "gc",
+        help="evict stale/excess cache entries (LRU by file mtime)",
+        description="Garbage-collect the persistent coupling cache: first "
+        "drop entries older than --max-age-days, then drop the "
+        "least-recently-used entries until the cache fits --max-size-mb. "
+        "At least one bound is required.",
+    )
+    pc_gc.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="root of the persistent coupling cache "
+        "(default: $REPRO_EMI_CACHE_DIR or ~/.cache/repro-emi/coupling)",
+    )
+    pc_gc.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="evict least-recently-used entries until the cache is at most "
+        "this many megabytes",
+    )
+    pc_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict entries whose mtime is older than this many days",
+    )
+
     p_serve = sub.add_parser(
         "serve",
         help="run the EMI-design HTTP job service",
@@ -394,6 +438,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp_history.add_argument("--key", default=None, help="restrict to one series")
     pp_history.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="restrict to records whose run-correlation id starts with ID",
+    )
+    pp_history.add_argument(
         "--limit", type=int, default=20, help="most recent N records (default: 20)"
     )
     pp_history.add_argument(
@@ -417,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
         "store's last two records (of --key, when set) are compared",
     )
     pp_diff.add_argument("--key", default=None, help="series key for store mode")
+    pp_diff.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="store mode: diff the stored record whose run-correlation id "
+        "starts with ID against its predecessor in the series",
+    )
     pp_diff.add_argument("--format", choices=("text", "json"), default="text")
 
     pp_check = perf_sub.add_parser(
@@ -855,6 +912,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .parallel import PersistentCouplingCache
+
+    if args.max_size_mb is None and args.max_age_days is None:
+        print(
+            "cache gc: pass --max-size-mb and/or --max-age-days",
+            file=sys.stderr,
+        )
+        return 2
+    cache = PersistentCouplingCache(cache_dir=args.cache_dir)
+    stats = cache.gc(
+        max_size_bytes=(
+            None if args.max_size_mb is None else int(args.max_size_mb * 1024 * 1024)
+        ),
+        max_age_s=(
+            None if args.max_age_days is None else args.max_age_days * 86400.0
+        ),
+    )
+    print(
+        f"cache gc {cache.cache_dir}: scanned {stats['scanned']} entr"
+        f"{'y' if stats['scanned'] == 1 else 'ies'}, evicted "
+        f"{stats['evicted']}, kept {stats['kept']}"
+    )
+    print(
+        f"  {stats['bytes_before'] / 1e6:.2f} MB -> "
+        f"{stats['bytes_after'] / 1e6:.2f} MB "
+        f"({stats['bytes_evicted'] / 1e6:.2f} MB freed)"
+    )
+    return 0
+
+
+_CACHE_COMMANDS = {
+    "gc": _cmd_cache_gc,
+}
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    return _CACHE_COMMANDS[args.cache_command](args)
+
+
 # -- perf observatory subcommands ------------------------------------------
 
 
@@ -922,7 +1019,15 @@ def _cmd_perf_history(args: argparse.Namespace) -> int:
                 f"last {stats['last']:.4f})"
             )
         return 0
-    records = history.last(key=args.key, n=args.limit)
+    if args.run_id:
+        matching = [
+            r
+            for r in history.records(key=args.key)
+            if r.run_id and r.run_id.startswith(args.run_id)
+        ]
+        records = matching[-args.limit :] if args.limit > 0 else matching
+    else:
+        records = history.last(key=args.key, n=args.limit)
     if args.format == "json":
         print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
         return 0
@@ -930,9 +1035,10 @@ def _cmd_perf_history(args: argparse.Namespace) -> int:
         print(f"no records in {history.path}")
         return 0
     for record in records:
+        run_id = f"  {record.run_id}" if record.run_id else ""
         print(
             f"{record.recorded_at}  {record.git_sha[:10]:10s}  "
-            f"{record.wall_s:9.3f} s  {record.key}"
+            f"{record.wall_s:9.3f} s  {record.key}{run_id}"
         )
     if history.skipped_lines:
         print(f"({history.skipped_lines} malformed line(s) skipped)")
@@ -953,7 +1059,33 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
         origin = f"{args.reports[0]} -> {args.reports[1]}"
     elif not args.reports:
         history = PerfHistory(args.store)
-        records = history.last(key=args.key, n=2)
+        if args.run_id:
+            series = history.records(key=args.key)
+            index = next(
+                (
+                    i
+                    for i, r in enumerate(series)
+                    if r.run_id and r.run_id.startswith(args.run_id)
+                ),
+                None,
+            )
+            if index is None:
+                print(
+                    f"perf diff: no stored run with run id {args.run_id!r} "
+                    f"in {history.path}",
+                    file=sys.stderr,
+                )
+                return 2
+            if index == 0:
+                print(
+                    f"perf diff: run {series[0].run_id} is the oldest stored "
+                    "record; nothing to diff against",
+                    file=sys.stderr,
+                )
+                return 2
+            records = [series[index - 1], series[index]]
+        else:
+            records = history.last(key=args.key, n=2)
         if len(records) < 2:
             print(
                 f"perf diff: need two stored runs, found {len(records)} "
@@ -1194,6 +1326,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "compact": _cmd_compact,
     "demo": _cmd_demo,
+    "cache": _cmd_cache,
     "serve": _cmd_serve,
     "perf": _cmd_perf,
 }
@@ -1221,16 +1354,6 @@ def main(argv: list[str] | None = None) -> int:
     if not want_metrics:
         return _COMMANDS[args.command](args)
 
-    # Fail fast: don't run a long command only to lose its report.
-    if args.metrics_out is not None:
-        parent = Path(args.metrics_out).resolve().parent
-        if not parent.is_dir():
-            parser.error(f"--metrics-out: directory does not exist: {parent}")
-    if events_out is not None:
-        parent = Path(events_out).resolve().parent
-        if not parent.is_dir():
-            parser.error(f"--events-out: directory does not exist: {parent}")
-
     from datetime import datetime, timezone
 
     from .obs import (
@@ -1240,7 +1363,27 @@ def main(argv: list[str] | None = None) -> int:
         ResourceSampler,
         disable,
         enable,
+        new_run_id,
     )
+
+    # Mint the run-correlation id up front so artifact paths can carry it:
+    # a literal ``{run_id}`` in --metrics-out / --events-out substitutes.
+    run_id = new_run_id()
+    if args.metrics_out is not None and "{run_id}" in str(args.metrics_out):
+        args.metrics_out = Path(str(args.metrics_out).replace("{run_id}", run_id))
+    if events_out is not None and "{run_id}" in str(events_out):
+        events_out = Path(str(events_out).replace("{run_id}", run_id))
+        args.events_out = events_out
+
+    # Fail fast: don't run a long command only to lose its report.
+    if args.metrics_out is not None:
+        parent = Path(args.metrics_out).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--metrics-out: directory does not exist: {parent}")
+    if events_out is not None:
+        parent = Path(events_out).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--events-out: directory does not exist: {parent}")
 
     bus = None
     if events_out is not None or live:
@@ -1259,6 +1402,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         mem_trace=getattr(args, "mem_trace", False),
         bus=bus,
+        run_id=run_id,
     )
     sampler = None
     if bus is not None:

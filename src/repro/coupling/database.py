@@ -294,10 +294,12 @@ class CouplingDatabase:
         tracer = get_tracer()
         self.misses += 1
         tracer.count("coupling.cache_misses")
-        with tracer.span("coupling.field_solve"):
+        with tracer.span("coupling.field_solve") as handle:
             result = component_coupling(
                 comp_a, placement_a, comp_b, placement_b, self.ground_plane_z, self.order
             )
+        if handle.elapsed_s is not None:
+            tracer.observe("coupling.pair_seconds", handle.elapsed_s)
         return self.store(comp_a, placement_a, comp_b, placement_b, result)
 
     def pairwise_couplings(

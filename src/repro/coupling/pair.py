@@ -10,10 +10,12 @@ permeability correction for cored parts.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from ..components import Component
 from ..geometry import Placement2D
+from ..obs import get_tracer
 from ..peec import (
     image_path,
     mutual_inductance_paths_fast,
@@ -121,11 +123,19 @@ def evaluate_coupling_task(task: CouplingTask) -> CouplingResult:
             order)`` exactly as :func:`component_coupling` takes them
             (positions [m], rotations [rad], plane height [m] or ``None``,
             quadrature order dimensionless).
+
+    Each call observes its wall time into the ``coupling.pair_seconds``
+    histogram — inside pool workers the chunk tracer records it, and the
+    buckets merge back into the parent, so the per-pair kernel-time
+    distribution is identical whether the run was serial or parallel.
     """
     comp_a, placement_a, comp_b, placement_b, ground_plane_z, order = task
-    return component_coupling(
+    t0 = time.perf_counter()
+    result = component_coupling(
         comp_a, placement_a, comp_b, placement_b, ground_plane_z, order
     )
+    get_tracer().observe("coupling.pair_seconds", time.perf_counter() - t0)
+    return result
 
 
 def pair_coupling_factor(

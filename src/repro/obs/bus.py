@@ -64,6 +64,10 @@ class EventBus:
         self._closed = False
         #: Exceptions swallowed while delivering to subscribers.
         self.subscriber_errors = 0
+        #: Correlation id stamped onto every published event once set
+        #: (a :class:`~repro.obs.Tracer` sets it on attach; the service
+        #: layer sets it per job before any event flows).
+        self.run_id = ""
 
     def subscribe(self, subscriber: Subscriber) -> Subscriber:
         """Register a subscriber; returns it (handy for chaining)."""
@@ -107,6 +111,7 @@ class EventBus:
                 path=path,
                 value=value,
                 attrs=dict(attrs) if attrs else {},
+                run_id=self.run_id,
             )
             # In-order under-lock delivery is the bus's documented
             # contract (gap-free seq per subscriber); subscribers must be

@@ -19,6 +19,9 @@ Event kinds (``TelemetryEvent.kind``):
 * ``counter`` — one counter increment; ``value`` is the increment
   (not the running total).
 * ``gauge`` — one gauge write; ``value`` is the new value.
+* ``observe`` — one histogram observation
+  (:meth:`~repro.obs.Tracer.observe`); ``value`` is the observed
+  sample (e.g. a latency in seconds), ``name`` the histogram name.
 * ``stage`` — a flow stage transition (``check``, ``sensitivity``,
   ``rules``, ``placement``, ``prediction``, ``verification``);
   ``attrs["status"]`` is ``start`` / ``done`` / ``error``.
@@ -47,7 +50,7 @@ EVENT_SCHEMA_VERSION = 1
 
 #: The closed set of event kinds; :meth:`EventBus.publish` rejects others.
 EVENT_KINDS = frozenset(
-    {"span_open", "span_close", "counter", "gauge", "stage", "log"}
+    {"span_open", "span_close", "counter", "gauge", "observe", "stage", "log"}
 )
 
 
@@ -69,6 +72,10 @@ class TelemetryEvent:
             for kinds without one.
         attrs: free-form structured attributes (stage status, worker
             pid, chunk index, …).  Values must be JSON-serialisable.
+        run_id: correlation id of the run that emitted the event
+            (stamped by the bus when one is set; empty otherwise).
+            Joins the event stream to the run's ``RunReport.meta``,
+            perf-history row and artifacts.
     """
 
     seq: int
@@ -78,6 +85,7 @@ class TelemetryEvent:
     path: str = ""
     value: float | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    run_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         """The JSONL line payload (schema-versioned, stable key set)."""
@@ -94,6 +102,8 @@ class TelemetryEvent:
             out["value"] = self.value
         if self.attrs:
             out["attrs"] = dict(self.attrs)
+        if self.run_id:
+            out["run_id"] = self.run_id
         return out
 
     @classmethod
@@ -115,6 +125,7 @@ class TelemetryEvent:
             path=str(data.get("path", "")),
             value=None if value is None else float(value),
             attrs=dict(data.get("attrs", {})),
+            run_id=str(data.get("run_id", "")),
         )
 
 
@@ -154,4 +165,6 @@ def validate_event_dict(data: Any) -> list[str]:
             problems.append("value must be a number or null")
     if "attrs" in data and not isinstance(data["attrs"], dict):
         problems.append("attrs must be an object")
+    if "run_id" in data and not isinstance(data["run_id"], str):
+        problems.append("run_id must be a string")
     return problems

@@ -131,6 +131,14 @@ class HistoryRecord:
         """The stored run rebuilt as a :class:`RunReport`."""
         return RunReport.from_dict(self.report_data)
 
+    @property
+    def run_id(self) -> str:
+        """The stored run's correlation id (empty for older records)."""
+        meta = self.report_data.get("meta", {})
+        if isinstance(meta, dict):
+            return str(meta.get("run_id", ""))
+        return ""
+
     def to_dict(self) -> dict[str, Any]:
         """The JSONL line payload for this record."""
         return {

@@ -1,0 +1,61 @@
+"""ULID-like run-correlation identifiers.
+
+Every traced run mints one ``run_id`` — a 26-character Crockford
+base32 string encoding a 48-bit millisecond timestamp followed by
+80 random bits, the ULID layout.  The id is stamped into
+``RunReport.meta["run_id"]``, every :class:`~repro.obs.TelemetryEvent`,
+the perf-history row (via the embedded report meta), artifact
+filenames (the CLI's ``{run_id}`` placeholder) and the service's
+``X-Repro-Run-Id`` response header — so any artifact of a run can be
+joined to any other by one identifier.
+
+Why ULID-shaped rather than UUID4: the ids sort lexicographically by
+creation time, which makes ``perf history`` listings and artifact
+directories chronologically ordered for free, while the 80 random
+bits keep collisions out of reach for any realistic job volume.
+
+Stdlib only; uses :func:`os.urandom` for the random component.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["new_run_id", "is_run_id", "RUN_ID_LENGTH"]
+
+#: Crockford base32 alphabet (no I, L, O, U — unambiguous in logs).
+_ALPHABET = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+_ALPHABET_SET = frozenset(_ALPHABET)
+
+#: Canonical id length: 10 chars of timestamp + 16 chars of randomness.
+RUN_ID_LENGTH = 26
+
+
+def _encode(value: int, length: int) -> str:
+    chars = []
+    for _ in range(length):
+        chars.append(_ALPHABET[value & 0x1F])
+        value >>= 5
+    return "".join(reversed(chars))
+
+
+def new_run_id(timestamp_ms: int | None = None) -> str:
+    """Mint a fresh 26-character run id (time-sortable, collision-safe).
+
+    Args:
+        timestamp_ms: millisecond UNIX timestamp to encode; defaults to
+            the current time.  Exposed for deterministic tests.
+    """
+    if timestamp_ms is None:
+        timestamp_ms = time.time_ns() // 1_000_000
+    timestamp_ms &= (1 << 48) - 1
+    randomness = int.from_bytes(os.urandom(10), "big")
+    return _encode(timestamp_ms, 10) + _encode(randomness, 16)
+
+
+def is_run_id(value: str) -> bool:
+    """True when ``value`` is a canonical 26-char Crockford base32 id."""
+    return len(value) == RUN_ID_LENGTH and all(
+        c in _ALPHABET_SET for c in value
+    )

@@ -49,6 +49,9 @@ from collections.abc import Iterator
 from types import TracebackType
 from typing import TYPE_CHECKING, Any
 
+from .histogram import Histogram
+from .runid import new_run_id
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .bus import EventBus
     from .report import RunReport
@@ -328,6 +331,10 @@ class Tracer:
             and stage transition publishes a telemetry event onto this
             :class:`~repro.obs.EventBus` (see docs/OBSERVABILITY.md,
             "Event stream & live mode").
+        run_id: correlation id for this run; minted fresh
+            (:func:`~repro.obs.new_run_id`) when omitted.  Stamped into
+            ``meta["run_id"]`` and onto the attached bus so every
+            report, event and artifact of the run carries the same id.
     """
 
     enabled = True
@@ -337,13 +344,21 @@ class Tracer:
         meta: dict[str, Any] | None = None,
         mem_trace: bool = False,
         bus: "EventBus | None" = None,
+        run_id: str | None = None,
     ):
         self.root = Span("run")
         self.root.count = 1
         self.meta: dict[str, Any] = dict(meta or {})
+        if run_id is None:
+            run_id = str(self.meta.get("run_id") or "") or new_run_id()
+        self.run_id = run_id
+        self.meta["run_id"] = run_id
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.mem_trace = mem_trace
         self.bus = bus
+        if bus is not None and not bus.run_id:
+            bus.run_id = run_id
         self._mem_started_here = False
         self._stack: list[Span] = [self.root]
         # The span stack belongs to the creating thread; counters and
@@ -409,6 +424,30 @@ class Tracer:
         if bus is not None:
             bus.publish("gauge", name, value=float(value))
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram (thread-safe).
+
+        The histogram is created on first use with the shared default
+        log-spaced bucket boundaries, so observations of the same name
+        from workers and the parent always merge cleanly.
+        """
+        value = float(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = Histogram(name)
+                self.histograms[name] = hist
+            hist.observe(value)
+        bus = self.bus
+        if bus is not None:
+            on_owner = threading.get_ident() == self._thread_ident
+            bus.publish(
+                "observe",
+                name,
+                path=self._path() if on_owner else "",
+                value=value,
+            )
+
     def elapsed_s(self) -> float:
         """Wall time since the tracer was created [s]."""
         return time.perf_counter() - self._t0
@@ -434,6 +473,16 @@ class Tracer:
         with self._lock:
             for name, value in data.get("gauges", {}).items():
                 self.gauges[f"{under}.{name}"] = float(value)
+            # Histograms merge by *plain* name (like counters, unlike
+            # gauges): bucket counts add, so totals are invariant to how
+            # many workers the observations were spread across.
+            for name, payload in data.get("histograms", {}).items():
+                incoming = Histogram.from_dict(name, payload)
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = incoming
+                else:
+                    mine.merge(incoming)
 
     def stop_mem_trace(self) -> None:
         """Stop :mod:`tracemalloc` if this tracer was the one to start it."""
@@ -455,7 +504,10 @@ class Tracer:
             meta.update(extra_meta)
         with self._lock:
             gauges = dict(self.gauges)
-        return RunReport(root=self.root, gauges=gauges, meta=meta)
+            histograms = dict(self.histograms)
+        return RunReport(
+            root=self.root, gauges=gauges, meta=meta, histograms=histograms
+        )
 
 
 class NullTracer:
@@ -471,6 +523,7 @@ class NullTracer:
     enabled = False
     mem_trace = False
     bus: "EventBus | None" = None
+    run_id = ""
 
     def span(self, name: str) -> _NullSpanHandle:
         """Return the shared no-op span handle."""
@@ -487,6 +540,9 @@ class NullTracer:
 
     def gauge(self, name: str, value: float) -> None:
         """Discard the value."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard the observation."""
 
     def elapsed_s(self) -> float:
         """Always 0.0 (the null tracer keeps no clock)."""
@@ -563,9 +619,10 @@ def enable(
     meta: dict[str, Any] | None = None,
     mem_trace: bool = False,
     bus: "EventBus | None" = None,
+    run_id: str | None = None,
 ) -> Tracer:
     """Install (and return) a fresh global :class:`Tracer`."""
-    tracer = Tracer(meta=meta, mem_trace=mem_trace, bus=bus)
+    tracer = Tracer(meta=meta, mem_trace=mem_trace, bus=bus, run_id=run_id)
     set_tracer(tracer)
     return tracer
 

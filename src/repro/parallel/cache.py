@@ -43,6 +43,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
@@ -78,10 +79,10 @@ class PersistentCouplingCache:
             count, compared exactly).
 
     Attributes:
-        hits, misses, stale, writes: lifetime operation counts of this
-            instance, lock-guarded so a shared instance counts correctly
-            under threads (the on-disk store itself is shared and
-            unaffected).
+        hits, misses, stale, writes, evicted: lifetime operation counts
+            of this instance, lock-guarded so a shared instance counts
+            correctly under threads (the on-disk store itself is shared
+            and unaffected).
     """
 
     def __init__(self, cache_dir: str | Path | None = None, version: int = CACHE_SCHEMA_VERSION):
@@ -92,6 +93,7 @@ class PersistentCouplingCache:
         self.misses = 0
         self.stale = 0
         self.writes = 0
+        self.evicted = 0
 
     def _bump(self, attr: str) -> None:
         """Increment one lifetime counter under the stats lock."""
@@ -113,13 +115,17 @@ class PersistentCouplingCache:
         """The stored payload for ``key``, or ``None`` on miss/stale.
 
         Counts ``cache.hit`` / ``cache.miss`` / ``cache.stale`` on the
-        active tracer; stale or unreadable entries are deleted.
+        active tracer and observes the lookup latency into the
+        ``cache.lookup_seconds`` histogram; stale or unreadable entries
+        are deleted.
         """
         tracer = get_tracer()
         path = self.path_for(key)
+        t0 = time.perf_counter()
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
+            tracer.observe("cache.lookup_seconds", time.perf_counter() - t0)
             self._bump("misses")
             tracer.count("cache.miss")
             return None
@@ -131,6 +137,7 @@ class PersistentCouplingCache:
             document = None
             stored_version = -1
             payload = None
+        tracer.observe("cache.lookup_seconds", time.perf_counter() - t0)
         if payload is None or stored_version != self.version or not isinstance(payload, dict):
             self._bump("stale")
             tracer.count("cache.stale")
@@ -164,6 +171,82 @@ class PersistentCouplingCache:
             return
         self._bump("writes")
         get_tracer().count("cache.write")
+
+    def gc(
+        self,
+        max_size_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> dict[str, Any]:
+        """Evict entries LRU-by-mtime until the store fits its budgets.
+
+        Two independent caps, either or both may be ``None`` (no cap):
+
+        * ``max_age_s`` — entries whose mtime is older than this many
+          seconds are always evicted;
+        * ``max_size_bytes`` — after age eviction, the oldest remaining
+          entries are evicted until the total size fits.
+
+        mtime is the LRU signal because :meth:`put` rewrites entries
+        atomically (``os.replace`` refreshes mtime) — a recently
+        re-written entry is a recently *produced* one.  Files that
+        vanish mid-scan (a concurrent GC or clear) are skipped, never
+        fatal; each successful eviction counts ``cache.evicted`` on the
+        active tracer and bumps :attr:`evicted`.
+
+        Args:
+            max_size_bytes: total on-disk budget [bytes].
+            max_age_s: maximum entry age [s].
+            now: reference timestamp for age math (defaults to
+                ``time.time()``; exposed for deterministic tests).
+
+        Returns:
+            ``{"scanned", "evicted", "kept", "bytes_before",
+            "bytes_after", "bytes_evicted"}`` — entry counts and sizes.
+        """
+        reference = time.time() if now is None else now
+        entries: list[tuple[float, int, Path]] = []
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first: the eviction order
+        bytes_before = sum(size for _, size, _ in entries)
+        evict: list[tuple[float, int, Path]] = []
+        kept = list(entries)
+        if max_age_s is not None:
+            cutoff = reference - max_age_s
+            evict = [e for e in kept if e[0] < cutoff]
+            kept = [e for e in kept if e[0] >= cutoff]
+        if max_size_bytes is not None:
+            total = sum(size for _, size, _ in kept)
+            while kept and total > max_size_bytes:
+                oldest = kept.pop(0)
+                evict.append(oldest)
+                total -= oldest[1]
+        tracer = get_tracer()
+        evicted_count = 0
+        evicted_bytes = 0
+        for _mtime, size, path in evict:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted_count += 1
+            evicted_bytes += size
+            self._bump("evicted")
+            tracer.count("cache.evicted")
+        return {
+            "scanned": len(entries),
+            "evicted": evicted_count,
+            "kept": len(entries) - evicted_count,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_before - evicted_bytes,
+            "bytes_evicted": evicted_bytes,
+        }
 
     def clear(self) -> int:
         """Delete every entry under the cache directory; returns the count."""

@@ -97,8 +97,11 @@ def _run_chunk(payload: bytes) -> tuple[list[Any], dict[str, Any] | None]:
 
     Returns:
         ``(results, capture)`` where ``capture`` is ``None`` for
-        untraced runs, else ``{"spans": ..., "gauges": ...}`` — the
-        chunk's child tracer serialised for the parent to absorb.  A
+        untraced runs, else ``{"spans": ..., "gauges": ...,
+        "histograms": ...}`` — the chunk's child tracer serialised for
+        the parent to absorb (the chunk's own wall time is also
+        observed into the ``parallel.chunk_seconds`` histogram, which
+        merges across workers by bucket addition).  A
         fresh tracer is installed per chunk (fork-started workers inherit
         a *copy* of the parent's tracer whose spans would otherwise be
         recorded into oblivion) and the null tracer is restored before
@@ -119,9 +122,15 @@ def _run_chunk(payload: bytes) -> tuple[list[Any], dict[str, Any] | None]:
         finally:
             set_tracer(NULL_TRACER)
         tracer.root.wall_s = tracer.elapsed_s()
+        tracer.observe("parallel.chunk_seconds", tracer.root.wall_s)
         return results, {
             "spans": tracer.root.to_dict(),
             "gauges": dict(tracer.gauges),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in tracer.histograms.items()
+                if hist.count > 0
+            },
         }
     finally:
         if stream:

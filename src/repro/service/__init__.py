@@ -25,6 +25,7 @@ or from a shell: ``repro-emi serve``.  The full API reference lives in
 """
 
 from .config import ServiceConfig, default_data_dir
+from .dashboard import render_dashboard_html
 from .errors import (
     JobCancelled,
     JobTimeout,
@@ -72,4 +73,5 @@ __all__ = [
     "content_hash",
     "default_data_dir",
     "parse_job_payload",
+    "render_dashboard_html",
 ]

@@ -1,0 +1,386 @@
+"""The live service dashboard: one self-contained HTML page.
+
+``GET /dashboard`` serves this page with the *current* ``/stats``
+aggregation embedded as a bootstrap JSON block — the raw HTML therefore
+already carries real queue/latency numbers (curl-able, archivable, no
+JavaScript required to read the percentiles) — and a small inline script
+then re-polls ``GET /stats`` every two seconds to keep the view live.
+
+Like the flight recorder (:mod:`repro.obs.flight`) the page has zero
+external dependencies: no CDN fonts, no chart library, no framework.
+Styling follows the repo's dashboard conventions: ink/surface design
+tokens with an automatic dark mode, one blue series hue for the
+single-series latency histograms (status colors are reserved for job
+states and always paired with a glyph, never color alone), thin bars
+with rounded data-ends and 2px surface gaps, and a hover tooltip layer.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any
+
+__all__ = ["render_dashboard_html"]
+
+
+def render_dashboard_html(
+    title: str = "repro-emi service",
+    stats: dict[str, Any] | None = None,
+) -> str:
+    """Render the dashboard page.
+
+    Args:
+        title: page heading.
+        stats: the ``GET /stats`` payload to embed as the bootstrap
+            snapshot; ``None`` embeds an empty snapshot (the page then
+            fills in on its first poll).
+
+    Returns:
+        A complete, self-contained HTML document.
+    """
+    payload = stats if stats is not None else {}
+    bootstrap = json.dumps(payload, sort_keys=True).replace("</", "<\\/")
+    return (
+        _PAGE.replace("__TITLE__", _html.escape(title))
+        .replace("__BOOTSTRAP__", bootstrap)
+    )
+
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__ — dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --page: #f9f9f7; --surface: #fcfcfb;
+    --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --baseline: #c3c2b7;
+    --border: rgba(11, 11, 11, 0.10);
+    --series: #2a78d6; --track: #cde2fb;
+    --good: #0ca30c; --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --page: #0d0d0d; --surface: #1a1a19;
+      --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --baseline: #383835;
+      --border: rgba(255, 255, 255, 0.10);
+      --series: #3987e5; --track: #0d366b;
+      --good: #0ca30c; --critical: #d03b3b;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 20px 24px 40px; background: var(--page);
+    color: var(--ink);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--muted); font-size: 12px; margin-bottom: 18px; }
+  h2 {
+    font-size: 12px; font-weight: 600; color: var(--ink-2);
+    text-transform: uppercase; letter-spacing: 0.06em; margin: 26px 0 10px;
+  }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+  .tile {
+    background: var(--surface); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 16px; min-width: 150px; flex: 0 1 auto;
+  }
+  .tile .label { color: var(--ink-2); font-size: 12px; }
+  .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+  .tile .note { color: var(--muted); font-size: 11px; margin-top: 2px; }
+  .meter {
+    height: 6px; border-radius: 3px; background: var(--track);
+    margin-top: 8px; overflow: hidden;
+  }
+  .meter > div { height: 100%; background: var(--series); border-radius: 3px; }
+  .cards { display: flex; flex-wrap: wrap; gap: 12px; }
+  .card {
+    background: var(--surface); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 16px 10px; flex: 0 1 auto;
+  }
+  .card .name { font-size: 13px; font-weight: 600; }
+  .card .pcts { color: var(--ink-2); font-size: 12px; margin: 2px 0 8px; }
+  .card .pcts b { color: var(--ink); font-weight: 600; font-variant-numeric: tabular-nums; }
+  .axis { display: flex; justify-content: space-between; color: var(--muted);
+          font-size: 10px; font-variant-numeric: tabular-nums; margin-top: 2px; }
+  svg .bar { fill: var(--series); }
+  svg .hit { fill: transparent; }
+  svg .base { stroke: var(--baseline); stroke-width: 1; }
+  table { border-collapse: collapse; width: 100%; background: var(--surface);
+          border: 1px solid var(--border); border-radius: 8px; overflow: hidden; }
+  th, td { text-align: left; padding: 7px 12px; font-size: 13px;
+           border-top: 1px solid var(--grid); white-space: nowrap; }
+  th { color: var(--ink-2); font-size: 11px; text-transform: uppercase;
+       letter-spacing: 0.05em; border-top: none; }
+  td.num { font-variant-numeric: tabular-nums; }
+  td .runid { color: var(--muted); font-size: 11px; }
+  a { color: var(--series); text-decoration: none; }
+  a:hover { text-decoration: underline; }
+  .state { display: inline-flex; align-items: center; gap: 5px; }
+  .state .dot { font-size: 12px; }
+  .state.succeeded .dot { color: var(--good); }
+  .state.failed .dot, .state.cancelled .dot { color: var(--critical); }
+  .state.running .dot { color: var(--series); }
+  .state.queued .dot { color: var(--muted); }
+  .empty { color: var(--muted); font-size: 13px; padding: 8px 2px; }
+  #tooltip {
+    position: fixed; display: none; pointer-events: none; z-index: 10;
+    background: var(--surface); color: var(--ink); border: 1px solid var(--border);
+    border-radius: 6px; box-shadow: 0 2px 8px rgba(0,0,0,0.18);
+    padding: 5px 9px; font-size: 12px; font-variant-numeric: tabular-nums;
+  }
+  #stale { color: var(--critical); font-size: 12px; display: none; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<div class="sub">live dashboard · polls <code>/stats</code> every 2&thinsp;s ·
+  <a href="metrics">/metrics</a> · <a href="stats">/stats</a> · <a href="jobs">/jobs</a>
+  <span id="stale">· poll failed — showing last snapshot</span></div>
+
+<h2>Service</h2>
+<div class="tiles" id="tiles"></div>
+
+<h2>Latency histograms</h2>
+<div class="cards" id="hists"><div class="empty">No observations yet.</div></div>
+
+<h2>Recent jobs</h2>
+<div id="jobs"><div class="empty">No jobs submitted yet.</div></div>
+
+<div id="tooltip"></div>
+<script id="bootstrap" type="application/json">__BOOTSTRAP__</script>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const tooltip = $("tooltip");
+
+function el(tag, attrs, ...children) {
+  const node = document.createElement(tag);
+  for (const [k, v] of Object.entries(attrs || {})) {
+    if (k === "class") node.className = v; else node.setAttribute(k, v);
+  }
+  for (const child of children) {
+    node.append(child);
+  }
+  return node;
+}
+
+function fmtSeconds(v) {
+  if (!isFinite(v)) return "–";
+  if (v === 0) return "0 s";
+  if (v < 1e-3) return (v * 1e6).toPrecision(3) + " µs";
+  if (v < 1) return (v * 1e3).toPrecision(3) + " ms";
+  return v.toFixed(v < 10 ? 3 : 1) + " s";
+}
+
+function fmtCount(v) { return Number(v).toLocaleString("en-US"); }
+
+function tile(label, value, note, fraction) {
+  const t = el("div", {class: "tile"},
+    el("div", {class: "label"}, label),
+    el("div", {class: "value"}, value));
+  if (note) t.append(el("div", {class: "note"}, note));
+  if (fraction !== undefined) {
+    const fill = el("div", {});
+    fill.style.width = Math.max(0, Math.min(1, fraction)) * 100 + "%";
+    t.append(el("div", {class: "meter"}, fill));
+  }
+  return t;
+}
+
+function renderTiles(data) {
+  const c = data.counters || {}, g = data.gauges || {};
+  const busy = g["service.workers_busy"] || 0;
+  const total = g["service.workers_total"] || 0;
+  const cache = data.cache || {};
+  const ratio = cache.hit_ratio;
+  const box = $("tiles");
+  box.replaceChildren(
+    tile("Queue depth", fmtCount(g["service.queue_depth"] || 0),
+         "waiting for a worker"),
+    tile("Workers busy", fmtCount(busy) + " / " + fmtCount(total),
+         "utilisation", total ? busy / total : 0),
+    tile("Jobs running", fmtCount(g["service.jobs_running"] || 0),
+         fmtCount(c["service.jobs_submitted"] || 0) + " submitted"),
+    tile("Completed", fmtCount(c["service.jobs_completed"] || 0),
+         fmtCount(c["service.jobs_failed"] || 0) + " failed · " +
+         fmtCount(c["service.jobs_cancelled"] || 0) + " cancelled"),
+    tile("Cache hit ratio",
+         ratio === null || ratio === undefined ? "–" : (ratio * 100).toFixed(1) + "%",
+         fmtCount(cache.hits || 0) + " hits / " + fmtCount(cache.misses || 0) + " misses",
+         ratio === null || ratio === undefined ? undefined : ratio),
+    tile("Uptime", fmtSeconds(g["service.uptime_s"] || 0),
+         fmtCount(c["service.http_requests"] || 0) + " HTTP requests"));
+}
+
+function showTip(evt, text) {
+  tooltip.textContent = text;
+  tooltip.style.display = "block";
+  tooltip.style.left = Math.min(evt.clientX + 12, window.innerWidth - 180) + "px";
+  tooltip.style.top = (evt.clientY + 14) + "px";
+}
+function hideTip() { tooltip.style.display = "none"; }
+
+// Thin bars, 4px rounded top (data end), square baseline, 2px surface gaps.
+function barPath(x, y, w, h, base) {
+  const r = Math.min(4, h, w / 2);
+  return "M" + x + "," + base + " L" + x + "," + (y + r) +
+         " Q" + x + "," + y + " " + (x + r) + "," + y +
+         " L" + (x + w - r) + "," + y +
+         " Q" + (x + w) + "," + y + " " + (x + w) + "," + (y + r) +
+         " L" + (x + w) + "," + base + " Z";
+}
+
+function histCard(name, h) {
+  const buckets = h.buckets || [];
+  const counts = [], labels = [];
+  let prev = 0;
+  for (const [le, cum] of buckets) {
+    counts.push(cum - prev); labels.push(le); prev = cum;
+  }
+  let lo = counts.findIndex((c) => c > 0);
+  let hi = counts.length - 1;
+  while (hi > lo && counts[hi] === 0) hi--;
+  if (lo < 0) { lo = 0; hi = -1; }
+  const n = hi - lo + 1;
+  const slot = 16, gap = 2, height = 64, padTop = 4;
+  const width = Math.max(n * (slot + gap) - gap, slot);
+  const peak = Math.max(1, ...counts.slice(lo, hi + 1));
+  const svgNS = "http://www.w3.org/2000/svg";
+  const svg = document.createElementNS(svgNS, "svg");
+  svg.setAttribute("viewBox", "0 0 " + width + " " + (height + 1));
+  svg.setAttribute("width", width);
+  svg.setAttribute("height", height + 1);
+  for (let i = lo; i <= hi; i++) {
+    const x = (i - lo) * (slot + gap);
+    const hh = counts[i] > 0
+      ? Math.max(2, (counts[i] / peak) * (height - padTop)) : 0;
+    if (hh > 0) {
+      const bar = document.createElementNS(svgNS, "path");
+      bar.setAttribute("d", barPath(x, height - hh, slot, hh, height));
+      bar.setAttribute("class", "bar");
+      svg.append(bar);
+    }
+    const hit = document.createElementNS(svgNS, "rect");
+    hit.setAttribute("x", x - gap / 2); hit.setAttribute("y", 0);
+    hit.setAttribute("width", slot + gap); hit.setAttribute("height", height);
+    hit.setAttribute("class", "hit");
+    const lower = i === 0 ? "0" : labels[i - 1];
+    const tip = counts[i] + " in (" + lower + ", " + labels[i] + "] s";
+    hit.addEventListener("mousemove", (evt) => showTip(evt, tip));
+    hit.addEventListener("mouseleave", hideTip);
+    svg.append(hit);
+  }
+  const base = document.createElementNS(svgNS, "line");
+  base.setAttribute("x1", 0); base.setAttribute("x2", width);
+  base.setAttribute("y1", height + 0.5); base.setAttribute("y2", height + 0.5);
+  base.setAttribute("class", "base");
+  svg.append(base);
+  const pcts = el("div", {class: "pcts"},
+    fmtCount(h.count) + " obs · p50 ", el("b", {}, fmtSeconds(h.p50)),
+    " · p95 ", el("b", {}, fmtSeconds(h.p95)),
+    " · p99 ", el("b", {}, fmtSeconds(h.p99)));
+  const axis = el("div", {class: "axis"},
+    el("span", {}, "≤" + (hi >= lo ? labels[lo] : "0") + " s"),
+    el("span", {}, "≤" + (hi >= lo ? labels[hi] : "+Inf") + " s"));
+  return el("div", {class: "card"},
+    el("div", {class: "name"}, name), pcts, svg, axis);
+}
+
+function renderHists(data) {
+  const hists = data.histograms || {};
+  const names = Object.keys(hists).sort();
+  const box = $("hists");
+  if (!names.length) {
+    box.replaceChildren(el("div", {class: "empty"}, "No observations yet."));
+    return;
+  }
+  box.replaceChildren(...names.map((name) => histCard(name, hists[name])));
+}
+
+const STATE_GLYPH = {queued: "\\u25cc", running: "\\u25b6",
+                     succeeded: "\\u2713", failed: "\\u2715",
+                     cancelled: "\\u2298"};
+
+function artifactLink(jobId, name, text) {
+  return el("a", {href: "jobs/" + encodeURIComponent(jobId) +
+                        "/artifacts/" + encodeURIComponent(name)}, text);
+}
+
+function jobDuration(job) {
+  if (!job.started_at) return null;
+  const start = Date.parse(job.started_at);
+  const end = job.finished_at ? Date.parse(job.finished_at) : Date.now();
+  return isNaN(start) || isNaN(end) ? null : Math.max(0, (end - start) / 1000);
+}
+
+function jobRow(job) {
+  const state = el("span", {class: "state " + job.state},
+    el("span", {class: "dot"}, STATE_GLYPH[job.state] || "?"), job.state);
+  const links = el("td", {});
+  links.append(el("a", {href: "jobs/" + encodeURIComponent(job.id)}, "snapshot"));
+  if (job.state === "succeeded" || job.state === "failed" ||
+      job.state === "cancelled") {
+    links.append(" · ", artifactLink(job.id, "flight.html", "flight"),
+                 " · ", artifactLink(job.id, "run_report.json", "report"),
+                 " · ", artifactLink(job.id, "events.jsonl", "events"));
+  }
+  const idCell = el("td", {}, job.id, document.createElement("br"),
+    el("span", {class: "runid"}, job.run_id || ""));
+  return el("tr", {},
+    idCell,
+    el("td", {}, job.kind || ""),
+    el("td", {}, state),
+    el("td", {class: "num"},
+       job.queue_wait_s === null || job.queue_wait_s === undefined
+         ? "–" : fmtSeconds(job.queue_wait_s)),
+    el("td", {class: "num"},
+       jobDuration(job) === null ? "–" : fmtSeconds(jobDuration(job))),
+    links);
+}
+
+function renderJobs(data) {
+  const jobs = data.jobs || [];
+  const box = $("jobs");
+  if (!jobs.length) {
+    box.replaceChildren(el("div", {class: "empty"}, "No jobs submitted yet."));
+    return;
+  }
+  const head = el("tr", {}, ...["job / run id", "kind", "state", "queue wait",
+                                "duration", "artifacts"]
+    .map((t) => el("th", {}, t)));
+  const table = el("table", {}, el("thead", {}, head),
+                   el("tbody", {}, ...jobs.map(jobRow)));
+  box.replaceChildren(table);
+}
+
+function render(data) {
+  renderTiles(data);
+  renderHists(data);
+  renderJobs(data);
+}
+
+async function poll() {
+  try {
+    const res = await fetch("stats", {cache: "no-store"});
+    if (!res.ok) throw new Error("HTTP " + res.status);
+    render(await res.json());
+    $("stale").style.display = "none";
+  } catch (err) {
+    $("stale").style.display = "inline";
+  }
+}
+
+render(JSON.parse($("bootstrap").textContent || "{}"));
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""

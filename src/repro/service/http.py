@@ -12,8 +12,15 @@ GET    ``/jobs/{id}/events``           live SSE stream (``?since=SEQ`` or
 GET    ``/jobs/{id}/artifacts``        artifact name list
 GET    ``/jobs/{id}/artifacts/{name}`` one artifact's bytes (404)
 GET    ``/metrics``                    Prometheus text exposition
+GET    ``/stats``                      JSON aggregation for the dashboard
+GET    ``/dashboard``                  self-contained live HTML dashboard
 GET    ``/healthz``                    liveness probe
 ====== =============================== =====================================
+
+Every job-scoped response (the ``POST /jobs`` 202, job snapshots,
+cancellation) carries the job's run-correlation id in an
+``X-Repro-Run-Id`` header — the same id stamped into the job's
+``RunReport.meta``, every telemetry event, and its artifact stream.
 
 The SSE stream is backed by the job's
 :class:`~repro.obs.EventRingBuffer` ``since()`` cursor: each telemetry
@@ -40,6 +47,7 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from .config import ServiceConfig
+from .dashboard import render_dashboard_html
 from .errors import PayloadError, ServiceClosedError, UnknownJobError
 from .jobs import Job
 from .manager import JobManager
@@ -96,13 +104,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        code: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    @staticmethod
+    def _run_id_headers(job: Job) -> dict[str, str] | None:
+        return {"X-Repro-Run-Id": job.run_id} if job.run_id else None
 
     def _send_error_json(self, code: int, message: str, **extra: Any) -> None:
         self._send_json(code, {"error": message, **extra})
@@ -116,6 +135,33 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except UnknownJobError:
             self._send_error_json(404, f"unknown job id {job_id!r}")
             return None
+
+    def _stats_payload(self, last_n: int = 20) -> dict[str, Any]:
+        """The ``GET /stats`` aggregation the dashboard polls.
+
+        One JSON document carrying the counter/gauge snapshot, every
+        non-empty latency histogram in chartable form, the shared-cache
+        hit ratio, and the last ``last_n`` job snapshots (newest first).
+        """
+        manager = self.server.manager
+        state = manager.metrics.snapshot()
+        counters = state["counters"]
+        hits = counters.get("service.cache_hits", 0.0)
+        misses = counters.get("service.cache_misses", 0.0)
+        lookups = hits + misses
+        jobs = manager.jobs()
+        return {
+            "counters": counters,
+            "gauges": state["gauges"],
+            "histograms": manager.metrics.histogram_summaries(),
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / lookups) if lookups else None,
+            },
+            "jobs": [job.snapshot() for job in jobs[-last_n:]][::-1],
+            "jobs_total": len(jobs),
+        }
 
     # -- verbs -------------------------------------------------------------
 
@@ -141,6 +187,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
+        if path == "/stats":
+            self._send_json(200, self._stats_payload())
+            return
+        if path == "/dashboard":
+            body = render_dashboard_html(
+                title="repro-emi service", stats=self._stats_payload()
+            ).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         if path == "/jobs":
             snapshots = [job.snapshot() for job in self.server.manager.jobs()]
             self._send_json(200, {"jobs": snapshots})
@@ -149,7 +208,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if match:
             job = self._job_or_404(match.group(1))
             if job is not None:
-                self._send_json(200, job.snapshot())
+                self._send_json(200, job.snapshot(), headers=self._run_id_headers(job))
             return
         match = _EVENTS_ROUTE.match(path)
         if match:
@@ -205,7 +264,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             manager.metrics.inc("service.jobs_rejected")
             self._send_error_json(429 if exc.retryable else 503, str(exc))
             return
-        self._send_json(202, job.snapshot())
+        self._send_json(202, job.snapshot(), headers=self._run_id_headers(job))
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         self._count()
@@ -216,7 +275,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         job = self._job_or_404(match.group(1))
         if job is not None:
             job = self.server.manager.cancel(job.id)
-            self._send_json(200, job.snapshot())
+            self._send_json(200, job.snapshot(), headers=self._run_id_headers(job))
 
     # -- artifacts ---------------------------------------------------------
 
@@ -262,8 +321,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Connection", "close")
         self.end_headers()
         poll_s = self.server.config.sse_poll_s
-        write, flush = self.wfile.write, self.wfile.flush
+        write, raw_flush = self.wfile.write, self.wfile.flush
         monotonic = time.monotonic
+        observe = manager.metrics.observe
+
+        def flush() -> None:
+            t0 = monotonic()
+            raw_flush()
+            observe("service.sse_flush_seconds", monotonic() - t0)
         last_write = monotonic()
         try:
             while True:

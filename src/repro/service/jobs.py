@@ -360,7 +360,14 @@ class _StageWatch:
 
 @dataclass
 class Job:
-    """One submitted job: request, lifecycle state and telemetry fabric."""
+    """One submitted job: request, lifecycle state and telemetry fabric.
+
+    ``run_id`` is the job's correlation id, minted by the manager at
+    submission and stamped onto the job's bus before any event flows —
+    the same id lands in every telemetry event, the ``run_report.json``
+    meta, the perf-relevant artifacts and the ``X-Repro-Run-Id`` HTTP
+    header, so any artifact of a job joins to any other.
+    """
 
     id: str
     seq: int
@@ -369,19 +376,24 @@ class Job:
     bus: EventBus
     ring: EventRingBuffer
     sink: JsonlSink
+    run_id: str = ""
     state: str = JobState.QUEUED
     submitted_at: str = field(default_factory=_utc_now)
     started_at: str | None = None
     finished_at: str | None = None
+    queue_wait_s: float | None = None
     error: dict[str, str] | None = None
     result: dict[str, Any] | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
     _deadline: float | None = field(default=None, repr=False)
+    _queued_monotonic: float = field(default_factory=time.monotonic, repr=False)
     _watch: _StageWatch = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._watch = _StageWatch(self.request.stage_plan())
+        if self.run_id and not self.bus.run_id:
+            self.bus.run_id = self.run_id
         self.bus.subscribe(self.ring)
         self.bus.subscribe(self.sink)
         self.bus.subscribe(self._watch)
@@ -394,14 +406,24 @@ class Job:
     # -- lifecycle ---------------------------------------------------------
 
     def mark_running(self) -> bool:
-        """``queued -> running`` (False when the job was cancelled first)."""
+        """``queued -> running`` (False when the job was cancelled first).
+
+        Stamps :attr:`queue_wait_s` — the monotonic delta between
+        submission and worker pickup — for the snapshot, the
+        ``service.job_queue_wait_s`` gauge and the queue-wait histogram.
+        """
         with self._lock:
             if self.state != JobState.QUEUED:
                 return False
             self.state = JobState.RUNNING
             self.started_at = _utc_now()
+            self.queue_wait_s = time.monotonic() - self._queued_monotonic
             self._deadline = time.monotonic() + self.request.options.timeout_s
-        self.bus.publish("log", "service.job_started", attrs={"job_id": self.id})
+        self.bus.publish(
+            "log",
+            "service.job_started",
+            attrs={"job_id": self.id, "queue_wait_s": self.queue_wait_s},
+        )
         return True
 
     def finish(
@@ -471,6 +493,10 @@ class Job:
         with self._lock:
             return self.state in TERMINAL_STATES
 
+    def elapsed_since_submit_s(self) -> float:
+        """Monotonic seconds since submission (end-to-end latency base)."""
+        return time.monotonic() - self._queued_monotonic
+
     # -- artifacts & snapshots ---------------------------------------------
 
     def artifact_names(self) -> list[str]:
@@ -485,17 +511,21 @@ class Job:
             state = self.state
             started = self.started_at
             finished = self.finished_at
+            queue_wait = self.queue_wait_s
             error = dict(self.error) if self.error else None
             result = dict(self.result) if self.result else None
         stages, current, progress = self._watch.snapshot()
         return {
             "id": self.id,
+            "run_id": self.run_id,
             "kind": self.request.kind,
             "state": state,
             "content_hash": self.request.digest,
             "submitted_at": self.submitted_at,
+            "queued_at": self.submitted_at,
             "started_at": started,
             "finished_at": finished,
+            "queue_wait_s": queue_wait,
             "options": self.request.options.to_dict(),
             "stages": stages,
             "current_stage": current,

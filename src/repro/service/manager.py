@@ -18,7 +18,7 @@ import threading
 import time
 from typing import Any
 
-from ..obs import EventRingBuffer, EventBus, JsonlSink
+from ..obs import EventRingBuffer, EventBus, JsonlSink, new_run_id
 from .config import ServiceConfig
 from .errors import PayloadError, UnknownJobError
 from .jobs import Job, JobState, parse_job_payload
@@ -80,6 +80,7 @@ class JobManager:
             bus=EventBus(),
             ring=EventRingBuffer(capacity=self.config.event_buffer),
             sink=JsonlSink(artifacts_dir / "events.jsonl"),
+            run_id=new_run_id(),
         )
         with self._lock:
             self._jobs[job_id] = job
@@ -90,6 +91,9 @@ class JobManager:
 
     def _execute(self, job: Job) -> None:
         self.runner.run(job)
+        self.metrics.observe(
+            "service.job_latency_seconds", job.elapsed_since_submit_s()
+        )
         terminal_counter = {
             JobState.SUCCEEDED: "service.jobs_completed",
             JobState.FAILED: "service.jobs_failed",

@@ -28,8 +28,19 @@ Catalogue (names as they appear in the exposition):
 ``service.jobs_running``       gauge    jobs currently executing
 ``service.workers_busy``       gauge    pool threads executing a job
 ``service.workers_total``      gauge    pool size
+``service.job_queue_wait_s``   gauge    queue wait of the last started job
 ``service.uptime_s``           gauge    seconds since the service started
 =============================  =======  ====================================
+
+Latency distributions are :class:`~repro.obs.Histogram` metrics recorded
+via :meth:`ServiceMetrics.observe` and exported as proper Prometheus
+histogram families through the same single exposition path:
+
+==================================  =====================================
+``service.queue_wait_seconds``      submission → worker pickup per job
+``service.job_latency_seconds``     submission → terminal state per job
+``service.sse_flush_seconds``       one SSE event-batch write + flush
+==================================  =====================================
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ import threading
 import time
 from typing import Any
 
-from ..obs import RunReport, Span, to_prometheus
+from ..obs import Histogram, RunReport, Span, to_prometheus
 
 __all__ = ["ServiceMetrics"]
 
@@ -50,6 +61,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._t0 = time.monotonic()
 
     def inc(self, name: str, n: float = 1.0) -> None:
@@ -66,6 +78,20 @@ class ServiceMetrics:
         """Add ``delta`` to a gauge (atomic read-modify-write)."""
         with self._lock:
             self._gauges[name] = self._gauges.get(name, 0.0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram.
+
+        Histograms are created on first use with the shared default
+        log-spaced boundaries (:data:`~repro.obs.DEFAULT_BUCKETS`), the
+        same contract as :meth:`~repro.obs.Tracer.observe`.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(name)
+                self._histograms[name] = hist
+            hist.observe(float(value))
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never bumped)."""
@@ -85,11 +111,36 @@ class ServiceMetrics:
         gauges["service.uptime_s"] = time.monotonic() - self._t0
         return {"counters": counters, "gauges": gauges}
 
+    def histogram_summaries(self) -> dict[str, dict[str, Any]]:
+        """Per-histogram ``{count, sum, p50, p95, p99, buckets}`` view.
+
+        The ``buckets`` list carries ``[le_label, cumulative_count]``
+        pairs (ending at ``+Inf``) — the chartable form the
+        ``GET /stats`` endpoint serves to the dashboard.
+        """
+        with self._lock:
+            histograms = {
+                name: hist for name, hist in self._histograms.items()
+                if hist.count > 0
+            }
+            out: dict[str, dict[str, Any]] = {}
+            for name in sorted(histograms):
+                hist = histograms[name]
+                summary = hist.snapshot()
+                summary["buckets"] = [
+                    [le, count] for le, count in hist.cumulative()
+                ]
+                out[name] = summary
+        return out
+
     def run_report(self, meta: dict[str, Any] | None = None) -> RunReport:
         """Freeze the current state into a :class:`~repro.obs.RunReport`.
 
         Counters land on a synthetic ``service`` root span so the
-        standard exporter renders them as ``counter_total`` samples.
+        standard exporter renders them as ``counter_total`` samples;
+        histograms ride the report's ``histograms`` mapping and come out
+        of :func:`~repro.obs.to_prometheus` as ``_bucket``/``_sum``/
+        ``_count`` families.
         """
         state = self.snapshot()
         root = Span("service")
@@ -98,7 +149,14 @@ class ServiceMetrics:
         report_meta = {"command": "serve"}
         if meta:
             report_meta.update(meta)
-        return RunReport(root=root, gauges=dict(state["gauges"]), meta=report_meta)
+        with self._lock:
+            histograms = dict(self._histograms)
+        return RunReport(
+            root=root,
+            gauges=dict(state["gauges"]),
+            meta=report_meta,
+            histograms=histograms,
+        )
 
     def prometheus(self, meta: dict[str, Any] | None = None) -> str:
         """The ``GET /metrics`` body (Prometheus text exposition)."""

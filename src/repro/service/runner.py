@@ -87,6 +87,9 @@ class JobRunner:
         """
         if not job.mark_running():
             return  # cancelled while queued; nothing to do
+        if job.queue_wait_s is not None:
+            self.metrics.set_gauge("service.job_queue_wait_s", job.queue_wait_s)
+            self.metrics.observe("service.queue_wait_seconds", job.queue_wait_s)
         tracer = Tracer(
             meta={
                 "command": "service.job",
@@ -95,6 +98,7 @@ class JobRunner:
                 "content_hash": job.request.digest,
             },
             bus=job.bus,
+            run_id=job.run_id or None,
         )
         previous = set_thread_tracer(tracer)
         state = JobState.SUCCEEDED

@@ -1,0 +1,198 @@
+"""Dashboard, /stats, run-correlation ids and queue-wait telemetry."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import is_run_id
+from repro.service import EmiService, ServiceConfig
+
+SMALL_BOARD = """EMIPLACE 1
+TITLE dashboard test board
+BOARD 0 GROUND 1
+  OUTLINE 0,0 70,0 70,50 0,50
+END
+COMP CX1 TYPE FilmCapacitorX2 PN CX1-X2 SIZE 18x8x15
+COMP LF1 TYPE BobbinChoke PN LF1-CH SIZE 12x10x12
+COMP Q1 TYPE PowerMosfet PN Q1-DPAK SIZE 10x9x2.3
+NET VIN CX1.1 LF1.1
+NET VBUS LF1.2 Q1.D
+RULE CLEAR * * 0.5
+"""
+
+
+def request_raw(url, method="GET", payload=None, timeout=30):
+    """(status, body bytes, headers) without raising on 4xx/5xx."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def wait_terminal(base_url, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body, _ = request_raw(f"{base_url}/jobs/{job_id}")
+        snap = json.loads(body)
+        if snap["state"] in ("succeeded", "failed", "cancelled"):
+            return snap
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not reach a terminal state")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("svc-dash")
+    config = ServiceConfig(
+        port=0,
+        pool_workers=2,
+        data_dir=root / "data",
+        cache_dir=None,
+        job_timeout_s=60.0,
+    )
+    svc = EmiService(config)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture(scope="module")
+def finished_job(service):
+    """One board job run to completion (shared by the read-only tests)."""
+    status, body, headers = request_raw(
+        f"{service.url}/jobs", method="POST", payload={"board": SMALL_BOARD}
+    )
+    assert status == 202
+    snap = json.loads(body)
+    final = wait_terminal(service.url, snap["id"])
+    assert final["state"] == "succeeded"
+    return snap, final, headers
+
+
+class TestRunIds:
+    def test_submission_mints_a_run_id(self, finished_job):
+        snap, _, headers = finished_job
+        assert is_run_id(snap["run_id"])
+        assert headers.get("X-Repro-Run-Id") == snap["run_id"]
+
+    def test_snapshot_carries_header_and_same_id(self, service, finished_job):
+        snap, _, _ = finished_job
+        _, body, headers = request_raw(f"{service.url}/jobs/{snap['id']}")
+        assert headers.get("X-Repro-Run-Id") == snap["run_id"]
+        assert json.loads(body)["run_id"] == snap["run_id"]
+
+    def test_run_report_meta_matches(self, service, finished_job):
+        snap, _, _ = finished_job
+        _, body, _ = request_raw(
+            f"{service.url}/jobs/{snap['id']}/artifacts/run_report.json"
+        )
+        assert json.loads(body)["meta"]["run_id"] == snap["run_id"]
+
+    def test_every_event_carries_the_run_id(self, service, finished_job):
+        snap, _, _ = finished_job
+        _, body, _ = request_raw(
+            f"{service.url}/jobs/{snap['id']}/artifacts/events.jsonl"
+        )
+        lines = [json.loads(l) for l in body.decode().splitlines() if l.strip()]
+        assert lines
+        assert all(event.get("run_id") == snap["run_id"] for event in lines)
+
+    def test_distinct_jobs_get_distinct_ids(self, service, finished_job):
+        snap, _, _ = finished_job
+        status, body, _ = request_raw(
+            f"{service.url}/jobs", method="POST", payload={"board": SMALL_BOARD}
+        )
+        assert status == 202
+        other = json.loads(body)
+        wait_terminal(service.url, other["id"])
+        assert other["run_id"] != snap["run_id"]
+
+
+class TestQueueWait:
+    def test_snapshot_has_queued_at_and_queue_wait(self, finished_job):
+        _, final, _ = finished_job
+        assert final["queued_at"] == final["submitted_at"]
+        assert final["queue_wait_s"] is not None
+        assert final["queue_wait_s"] >= 0.0
+
+    def test_gauge_and_histogram_recorded(self, service, finished_job):
+        metrics = service.manager.metrics
+        assert metrics.gauge("service.job_queue_wait_s") >= 0.0
+        summaries = metrics.histogram_summaries()
+        assert summaries["service.queue_wait_seconds"]["count"] >= 1
+        assert summaries["service.job_latency_seconds"]["count"] >= 1
+
+
+class TestStats:
+    def test_payload_shape(self, service, finished_job):
+        _, body, _ = request_raw(f"{service.url}/stats")
+        stats = json.loads(body)
+        assert set(stats) >= {
+            "counters",
+            "gauges",
+            "histograms",
+            "cache",
+            "jobs",
+            "jobs_total",
+        }
+        assert stats["counters"]["service.jobs_completed"] >= 1
+        assert stats["jobs_total"] >= 1
+        assert stats["jobs"][0]["id"]  # newest first, snapshots inline
+
+    def test_latency_histogram_is_chartable(self, service, finished_job):
+        _, body, _ = request_raw(f"{service.url}/stats")
+        hist = json.loads(body)["histograms"]["service.job_latency_seconds"]
+        assert hist["count"] >= 1
+        assert hist["p50"] > 0.0
+        assert hist["buckets"][-1][0] == "+Inf"
+        cumulative = [n for _, n in hist["buckets"]]
+        assert cumulative == sorted(cumulative)
+
+    def test_cache_ratio_none_without_lookups(self, service):
+        _, body, _ = request_raw(f"{service.url}/stats")
+        cache = json.loads(body)["cache"]
+        lookups = cache["hits"] + cache["misses"]
+        if lookups == 0:
+            assert cache["hit_ratio"] is None
+        else:
+            assert 0.0 <= cache["hit_ratio"] <= 1.0
+
+
+class TestDashboard:
+    def test_served_as_html(self, service, finished_job):
+        status, body, headers = request_raw(f"{service.url}/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        html = body.decode()
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_self_contained(self, service, finished_job):
+        _, body, _ = request_raw(f"{service.url}/dashboard")
+        html = body.decode()
+        for marker in ('src="http', "href=\"http", "@import", "cdn."):
+            assert marker not in html
+
+    def test_bootstrap_carries_live_percentiles(self, service, finished_job):
+        _, body, _ = request_raw(f"{service.url}/dashboard")
+        html = body.decode()
+        start = html.index('<script id="bootstrap"')
+        start = html.index(">", start) + 1
+        end = html.index("</script>", start)
+        bootstrap = json.loads(html[start:end].replace("<\\/", "</"))
+        hist = bootstrap["histograms"]["service.job_latency_seconds"]
+        assert hist["p50"] > 0.0 and hist["p95"] > 0.0 and hist["p99"] > 0.0
+
+    def test_metrics_exposes_histogram_families(self, service, finished_job):
+        _, body, _ = request_raw(f"{service.url}/metrics")
+        text = body.decode()
+        assert "service_job_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "service_queue_wait_seconds_count" in text
